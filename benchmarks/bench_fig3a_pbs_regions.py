@@ -1,0 +1,68 @@
+"""Figure 3a: alias-free regions of uniform bandpass sampling.
+
+Regenerates the classic Vaughan wedge plot the paper uses to motivate
+nonuniform sampling: for every band position ``fH / B`` and normalised rate
+``fs / B``, whether uniform sampling is alias-free.  The printed output gives,
+for a few representative band positions, the alias-free rate intervals
+(the white wedges of Fig. 3a), and asserts the qualitative features the paper
+reads off the figure: the minimum usable rate approaches ``2 B`` only at
+integer band positions, and the wedges narrow as ``fH / B`` grows.
+"""
+
+import numpy as np
+
+from repro.sampling import BandpassBand, alias_free_grid, minimum_sampling_rate, valid_rate_ranges
+
+from conftest import format_series, print_header
+
+
+def build_fig3a_grid():
+    position_ratios = np.linspace(1.0, 7.0, 121)
+    normalised_rates = np.linspace(0.25, 8.0, 156)
+    grid = alias_free_grid(position_ratios, normalised_rates)
+    return position_ratios, normalised_rates, grid
+
+
+def test_fig3a_pbs_regions(benchmark):
+    position_ratios, normalised_rates, grid = benchmark(build_fig3a_grid)
+
+    print_header("Figure 3a - alias-free uniform bandpass sampling regions (fs/B vs fH/B)")
+    # Print the minimum alias-free normalised rate versus band position.
+    minimum_rates = []
+    for ratio in (2.0, 3.0, 4.5, 6.0, 7.0):
+        band = BandpassBand(ratio - 1.0, ratio)
+        minimum_rates.append(minimum_sampling_rate(band))
+    print(
+        format_series(
+            [2.0, 3.0, 4.5, 6.0, 7.0],
+            minimum_rates,
+            x_label="fH/B",
+            y_label="min fs/B",
+        )
+    )
+    white_fraction = grid.mean()
+    print(f"\nalias-free fraction of the plotted plane: {white_fraction:.2%}")
+    print("ASCII rendering (rows: fs/B from high to low, '.'=alias-free, '#'=aliasing):")
+    step_rows = 6
+    step_cols = 4
+    for row in range(grid.shape[0] - 1, -1, -step_rows):
+        line = "".join("." if cell else "#" for cell in grid[row, ::step_cols])
+        print(f"  fs/B={normalised_rates[row]:4.1f} {line}")
+
+    # --- Expected shape (paper's reading of the figure) ---------------------
+    # 1. Integer band positioning reaches the theoretical minimum 2B.
+    assert minimum_sampling_rate(BandpassBand(3.0, 4.0)) == 2.0
+    # 2. Non-integer positioning needs more than 2B.
+    assert minimum_sampling_rate(BandpassBand(3.3, 4.3)) > 2.0
+    # 3. Rates above 2 fH are always alias-free; rates below 2B never are.
+    top_row = np.argmin(np.abs(normalised_rates - 8.0))
+    assert grid[top_row, position_ratios <= 4.0].all()
+    bottom_row = np.argmin(np.abs(normalised_rates - 1.0))
+    assert not grid[bottom_row, :].any()
+    # 4. The alias-free wedges narrow as fH/B increases (less margin at fixed rate).
+    narrow_band_columns = position_ratios <= 2.5
+    wide_band_columns = position_ratios >= 5.5
+    mid_rows = (normalised_rates >= 2.0) & (normalised_rates <= 4.0)
+    assert grid[np.ix_(mid_rows, narrow_band_columns)].mean() > grid[
+        np.ix_(mid_rows, wide_band_columns)
+    ].mean()

@@ -1,0 +1,66 @@
+"""Figure 3b: acceptable uniform sampling rates for fH = 2.03 GHz, B = 30 MHz.
+
+The paper's worked example of why uniform bandpass sampling is impractical
+for a flexible radio: a 30 MHz band just below 2.03 GHz admits only a handful
+of narrow alias-free rate windows between 60 and 100 MHz, and near the
+minimum rate the window is only a few hundred kHz wide (few kHz right at the
+minimum), so the sampling clock would need that level of absolute accuracy.
+"""
+
+import numpy as np
+
+from repro.sampling import (
+    BandpassBand,
+    minimum_sampling_rate,
+    required_rate_precision,
+    valid_rate_ranges,
+)
+
+from conftest import print_header
+
+#: The paper's Fig. 3b case: f_H = 2.03 GHz, B = 30 MHz.
+FIG3B_BAND = BandpassBand(2.0e9, 2.03e9)
+
+
+def compute_fig3b_windows():
+    ranges = [r for r in valid_rate_ranges(FIG3B_BAND, max_rate_hz=100.0e6) if r.minimum_hz <= 100e6]
+    minimum = minimum_sampling_rate(FIG3B_BAND)
+    return ranges, minimum
+
+
+def test_fig3b_narrowband_case(benchmark):
+    ranges, minimum = benchmark(compute_fig3b_windows)
+
+    print_header("Figure 3b - alias-free sampling-rate windows for fH = 2.03 GHz, B = 30 MHz")
+    print(f"theoretical minimum rate 2B              : {2 * FIG3B_BAND.bandwidth / 1e6:.3f} MHz")
+    print(f"lowest alias-free rate (wedge n = {ranges[0].wedge_index:3d})    : {minimum / 1e6:.3f} MHz")
+    print(f"{'n':>5} {'fs_min [MHz]':>14} {'fs_max [MHz]':>14} {'window width [kHz]':>20}")
+    for rate_range in ranges:
+        print(
+            f"{rate_range.wedge_index:>5} {rate_range.minimum_hz / 1e6:>14.4f} "
+            f"{rate_range.maximum_hz / 1e6:>14.4f} {rate_range.width_hz / 1e3:>20.1f}"
+        )
+    just_above_minimum = minimum * (1.0 + 1e-6)
+    precision_at_minimum = required_rate_precision(FIG3B_BAND, just_above_minimum)
+    near_90 = next(r for r in ranges if r.minimum_hz <= 90e6 <= r.maximum_hz or r.minimum_hz > 88e6)
+    print(
+        f"\nrequired clock precision just above the minimum rate: "
+        f"{precision_at_minimum / 1e3:.1f} kHz"
+    )
+    print(
+        f"window containing/near 90 MHz: n = {near_90.wedge_index}, width = "
+        f"{near_90.width_hz / 1e3:.0f} kHz"
+    )
+
+    # --- Expected shape ------------------------------------------------------
+    # The minimum alias-free rate sits just above 2B = 60 MHz.
+    assert 2 * FIG3B_BAND.bandwidth <= minimum < 62e6
+    # Near the minimum the margin is tiny (the "precision of a few kHz" claim).
+    assert precision_at_minimum < 50e3
+    # The windows in the 60-100 MHz range are all narrower than 1 MHz
+    # ("sampling precision of a few hundreds of kHz" around 90 MHz).
+    widths = [r.width_hz for r in ranges if np.isfinite(r.maximum_hz)]
+    assert max(widths) < 1.5e6
+    assert near_90.width_hz < 1.0e6
+    # Windows get (monotonically, on average) wider as the rate increases.
+    assert widths[-1] > widths[0]

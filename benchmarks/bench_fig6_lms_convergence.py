@@ -1,0 +1,65 @@
+"""Figure 6: LMS cost-function trajectories for several starting points.
+
+Reproduces the paper's Fig. 6: the adaptive LMS time-skew estimation is run
+from D_hat0 = 50, 100, 350 and 400 ps (initial step mu = 1e-12 s) on the
+Section V platform and must converge, every time, to the true 180 ps delay in
+fewer than 20 iterations.  The printed output gives the cost-function value
+at every accepted iteration for each starting point (the four curves of
+Fig. 6).
+"""
+
+import numpy as np
+
+from repro.calibration import LmsSkewEstimator, SkewCostFunction
+
+from conftest import NUM_COST_POINTS, NUM_TAPS, TRUE_DELAY_S, print_header
+
+#: The four starting points of the paper's Fig. 6.
+STARTING_POINTS_PS = (50.0, 100.0, 350.0, 400.0)
+INITIAL_STEP_S = 1.0e-12
+
+
+def run_lms_from_all_starts(fast, slow):
+    cost = SkewCostFunction(
+        fast,
+        slow,
+        num_taps=NUM_TAPS,
+        num_evaluation_points=NUM_COST_POINTS,
+        seed=20140324,
+    )
+    results = {}
+    for start_ps in STARTING_POINTS_PS:
+        estimator = LmsSkewEstimator(
+            cost, initial_step_seconds=INITIAL_STEP_S, max_iterations=60
+        )
+        results[start_ps] = estimator.estimate(start_ps * 1e-12)
+    return results
+
+
+def test_fig6_lms_convergence(benchmark, paper_acquisitions):
+    _, fast, slow = paper_acquisitions
+    results = benchmark(lambda: run_lms_from_all_starts(fast, slow))
+
+    print_header("Figure 6 - LMS cost-function evolution for several starting points D_hat0")
+    for start_ps, result in results.items():
+        trajectory = result.cost_trajectory()
+        print(
+            f"\nD_hat0 = {start_ps:5.0f} ps -> estimate {result.estimate * 1e12:7.2f} ps, "
+            f"{result.iterations} iterations, converged={result.converged}"
+        )
+        values = "  ".join(f"{value:.3e}" for value in trajectory)
+        print(f"  cost per iteration: {values}")
+
+    print(f"\ntrue delay D = {TRUE_DELAY_S * 1e12:.0f} ps")
+
+    # --- Expected shape ------------------------------------------------------
+    for start_ps, result in results.items():
+        # Converges every time...
+        assert result.converged, f"no convergence from {start_ps} ps"
+        # ...to the true delay (sub-picosecond accuracy on this platform)...
+        assert abs(result.estimate - fast.delay) < 1.0e-12
+        # ...in fewer than 20 iterations, as the paper reports.
+        assert result.iterations < 20
+        # The cost decreases by orders of magnitude along the trajectory.
+        trajectory = result.cost_trajectory()
+        assert trajectory[-1] < 1e-2 * trajectory[0]

@@ -1,0 +1,120 @@
+"""Table I: time-skew estimation analysis.
+
+Reproduces the paper's Table I on the Section V platform: the sine-fit
+baseline (adapted from Jamal et al. 2004, rows ``omega0 = 0.4 B`` and
+``0.46 B``) and the proposed LMS technique (rows ``D_hat0 = 50 ps`` and
+``400 ps``).  For every row the printed output gives the paper's three
+columns:
+
+* ``|D_hat - D|``          - absolute estimation error,
+* ``|1 - D_hat / D|``      - relative estimation error,
+* ``delta_eps(f_Dhat(t))`` - relative error of the waveform reconstructed
+                             with the estimate.
+
+Absolute values depend on the behavioural substrate (the paper's Matlab model
+is not available), but the qualitative content must hold: every method
+resolves the 180 ps skew to picosecond level or better, the LMS rows achieve
+sub-0.1 % relative delay error and ~1 % reconstruction error, and only the
+LMS works on the operational modulated signal (the sine-fit rows need a
+dedicated known tone).
+"""
+
+import numpy as np
+
+from repro.calibration import LmsSkewEstimator, SineFitSkewEstimator, SkewCostFunction
+from repro.dsp import relative_reconstruction_error
+from repro.sampling import NonuniformReconstructor
+from repro.signals import single_tone
+
+from conftest import (
+    BANDWIDTH_HZ,
+    NUM_COST_POINTS,
+    NUM_TAPS,
+    TRUE_DELAY_S,
+    paper_band,
+    paper_converter,
+    print_header,
+)
+
+
+def run_sine_fit_rows():
+    """Sine-fit estimation with a known tone at 0.4 B and 0.46 B above f_low."""
+    rows = {}
+    band = paper_band()
+    for fraction in (0.40, 0.46):
+        tone_frequency = band.f_low + fraction * BANDWIDTH_HZ
+        tone = single_tone(tone_frequency, amplitude=0.9)
+        adc = paper_converter(seed=int(1000 * fraction))
+        adc.program_delay(TRUE_DELAY_S)
+        sample_set = adc.acquire(tone, band, num_samples=400)
+        estimate = SineFitSkewEstimator(tone_frequency_hz=tone_frequency).estimate(sample_set)
+        rows[f"omega0 = {fraction:.2f} B"] = (estimate.estimate, sample_set, tone)
+    return rows
+
+
+def run_lms_rows(fast, slow, burst):
+    """LMS estimation from the paper's two starting points, on the modulated signal."""
+    cost = SkewCostFunction(
+        fast, slow, num_taps=NUM_TAPS, num_evaluation_points=NUM_COST_POINTS, seed=99
+    )
+    rows = {}
+    for start_ps in (50.0, 400.0):
+        estimator = LmsSkewEstimator(cost, initial_step_seconds=1e-12, max_iterations=60)
+        result = estimator.estimate(start_ps * 1e-12)
+        rows[f"D_hat0 = {start_ps:.0f} ps"] = (result.estimate, fast, burst.rf_output)
+    return rows
+
+
+def reconstruction_error_with_estimate(sample_set, reference_signal, estimate, seed=5):
+    reconstructor = NonuniformReconstructor(sample_set, assumed_delay=estimate, num_taps=NUM_TAPS)
+    low, high = reconstructor.valid_time_range()
+    times = np.random.default_rng(seed).uniform(low, high, 300)
+    return relative_reconstruction_error(
+        reference_signal.evaluate(times), reconstructor.evaluate(times)
+    )
+
+
+def test_table1_skew_estimation(benchmark, paper_acquisitions):
+    burst, fast, slow = paper_acquisitions
+
+    def run_all_rows():
+        rows = run_sine_fit_rows()
+        rows.update(run_lms_rows(fast, slow, burst))
+        return rows
+
+    rows = benchmark(run_all_rows)
+
+    print_header("Table I - time-skew estimation analysis (true D per acquisition)")
+    print(f"{'method / row':<22} {'|D_hat - D| [ps]':>18} {'|1 - D_hat/D|':>14} {'delta_eps':>10}")
+    table = {}
+    for label, (estimate, sample_set, reference) in rows.items():
+        true_delay = sample_set.delay
+        absolute_error = abs(estimate - true_delay)
+        relative_error = abs(1.0 - estimate / true_delay)
+        reconstruction_error = reconstruction_error_with_estimate(sample_set, reference, estimate)
+        table[label] = (absolute_error, relative_error, reconstruction_error)
+        print(
+            f"{label:<22} {absolute_error * 1e12:>18.3f} {relative_error:>14.3%} "
+            f"{reconstruction_error:>10.2%}"
+        )
+
+    # --- Expected shape (Table I) --------------------------------------------
+    lms_rows = [value for key, value in table.items() if key.startswith("D_hat0")]
+    sine_rows = [value for key, value in table.items() if key.startswith("omega0")]
+    # LMS rows: delay resolved to ~0.1 % or better and both starting points agree.
+    for absolute_error, relative_error, reconstruction_error in lms_rows:
+        assert absolute_error < 1.5e-12
+        assert relative_error < 1e-2
+        assert reconstruction_error < 0.05
+    assert abs(lms_rows[0][0] - lms_rows[1][0]) < 0.5e-12
+    # Sine-fit rows: also picosecond-level on a clean tone (our adaptation is
+    # better behaved than the paper's implementation of [14]), but they needed
+    # a dedicated known stimulus to get there.
+    for absolute_error, relative_error, reconstruction_error in sine_rows:
+        assert absolute_error < 5e-12
+        assert reconstruction_error < 0.10
+    # Qualitative superiority of the LMS scheme: on the *modulated* signal the
+    # sine-fit is useless while the LMS keeps its accuracy.
+    tone_frequency = paper_band().f_low + 0.46 * BANDWIDTH_HZ
+    misused_sine_fit = SineFitSkewEstimator(tone_frequency_hz=tone_frequency).estimate(fast)
+    assert abs(misused_sine_fit.estimate - fast.delay) > 5.0 * max(r[0] for r in lms_rows)

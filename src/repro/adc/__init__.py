@@ -1,0 +1,18 @@
+"""Converter models: quantizer, sample-and-hold, channel mismatch, BP-TIADC."""
+
+from .adc import AdcChannel
+from .mismatch import ChannelMismatch
+from .quantizer import UniformQuantizer, ideal_quantizer_snr_db
+from .sample_hold import SampleAndHold
+from .tiadc import BpTiadc, DigitallyControlledDelayElement, TimeInterleavedAdc
+
+__all__ = [
+    "AdcChannel",
+    "ChannelMismatch",
+    "UniformQuantizer",
+    "ideal_quantizer_snr_db",
+    "SampleAndHold",
+    "BpTiadc",
+    "DigitallyControlledDelayElement",
+    "TimeInterleavedAdc",
+]

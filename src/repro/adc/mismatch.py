@@ -1,0 +1,71 @@
+"""Channel mismatch description for time-interleaved converters.
+
+The paper identifies three mismatch classes between the two ADC channels of
+the BP-TIADC: offset error, gain error and time-skew.  Offset and gain are
+simple to calibrate digitally (Section III); the time-skew is the critical
+one and is the subject of the paper's estimation algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..utils.validation import check_non_negative
+
+__all__ = ["ChannelMismatch"]
+
+
+@dataclass(frozen=True)
+class ChannelMismatch:
+    """Static non-idealities of a single converter channel.
+
+    Attributes
+    ----------
+    offset:
+        Additive offset at the channel output (same units as the signal).
+    gain_error:
+        Multiplicative gain error; the channel gain is ``1 + gain_error``.
+    skew_seconds:
+        Deterministic sampling-instant error of the channel relative to its
+        nominal clock edge.  Positive skew samples late.
+    aperture_jitter_rms_seconds:
+        RMS of the random (Gaussian) sampling-instant error added on every
+        conversion (the paper's experiments use 3 ps rms).
+    """
+
+    offset: float = 0.0
+    gain_error: float = 0.0
+    skew_seconds: float = 0.0
+    aperture_jitter_rms_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.aperture_jitter_rms_seconds, "aperture_jitter_rms_seconds")
+
+    @property
+    def gain(self) -> float:
+        """The channel's multiplicative gain ``1 + gain_error``."""
+        return 1.0 + self.gain_error
+
+    @property
+    def is_ideal(self) -> bool:
+        """Whether the channel has no static or random impairment."""
+        return (
+            self.offset == 0.0
+            and self.gain_error == 0.0
+            and self.skew_seconds == 0.0
+            and self.aperture_jitter_rms_seconds == 0.0
+        )
+
+    def with_skew(self, skew_seconds: float) -> "ChannelMismatch":
+        """Copy of this mismatch with a different deterministic skew."""
+        return replace(self, skew_seconds=float(skew_seconds))
+
+    def with_jitter(self, aperture_jitter_rms_seconds: float) -> "ChannelMismatch":
+        """Copy of this mismatch with a different aperture jitter."""
+        return replace(self, aperture_jitter_rms_seconds=float(aperture_jitter_rms_seconds))
+
+    def apply_static(self, values: np.ndarray) -> np.ndarray:
+        """Apply the offset and gain errors to already-sampled values."""
+        return self.gain * np.asarray(values, dtype=float) + self.offset

@@ -1,0 +1,78 @@
+"""Uniform amplitude quantisation.
+
+The BP-TIADC of the paper uses two 10-bit converters.  The quantizer model is
+a mid-rise uniform quantizer with symmetric clipping; helper functions expose
+the textbook ideal-SNR and ENOB relations used in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import check_integer, check_positive
+
+__all__ = ["UniformQuantizer", "ideal_quantizer_snr_db"]
+
+
+def ideal_quantizer_snr_db(resolution_bits: int) -> float:
+    """Ideal full-scale sine-wave SNR of an N-bit quantizer: ``6.02 N + 1.76`` dB."""
+    resolution_bits = check_integer(resolution_bits, "resolution_bits", minimum=1)
+    return 6.02 * resolution_bits + 1.76
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """Mid-rise uniform quantizer with symmetric clipping.
+
+    Parameters
+    ----------
+    resolution_bits:
+        Number of bits; the quantizer has ``2**resolution_bits`` levels.
+    full_scale:
+        Full-scale amplitude: inputs are clipped to ``[-full_scale, +full_scale)``.
+    """
+
+    resolution_bits: int = 10
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_integer(self.resolution_bits, "resolution_bits", minimum=1)
+        check_positive(self.full_scale, "full_scale")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of quantisation levels."""
+        return 2**self.resolution_bits
+
+    @property
+    def step_size(self) -> float:
+        """Quantisation step (LSB size)."""
+        return 2.0 * self.full_scale / self.num_levels
+
+    def quantize(self, values) -> np.ndarray:
+        """Quantise ``values`` to the mid-rise reconstruction levels."""
+        values = np.asarray(values, dtype=float)
+        step = self.step_size
+        # Mid-rise: decision thresholds at multiples of the step, reconstruction
+        # points offset by half a step; clip codes to the representable range.
+        codes = np.floor(values / step)
+        codes = np.clip(codes, -self.num_levels // 2, self.num_levels // 2 - 1)
+        return (codes + 0.5) * step
+
+    def codes(self, values) -> np.ndarray:
+        """Integer output codes (two's-complement style, ``-2^(N-1) .. 2^(N-1)-1``)."""
+        values = np.asarray(values, dtype=float)
+        codes = np.floor(values / self.step_size)
+        return np.clip(codes, -self.num_levels // 2, self.num_levels // 2 - 1).astype(np.int64)
+
+    def quantization_noise_power(self) -> float:
+        """Quantisation noise power ``step^2 / 12`` (no clipping assumed)."""
+        return self.step_size**2 / 12.0
+
+    def clips(self, values) -> np.ndarray:
+        """Boolean mask of samples that hit the clipping limits."""
+        values = np.asarray(values, dtype=float)
+        return (values >= self.full_scale - self.step_size / 2.0) | (values < -self.full_scale)

@@ -1,0 +1,38 @@
+"""The complete RF BIST: masks, measurements, engine, reports and campaigns."""
+
+from .campaign import BistCampaign, CampaignResult, CampaignScenario, default_converter
+from .engine import BistConfig, TransmitterBist
+from .masks import MaskCheckResult, MaskViolation, SpectralMask
+from .measurements import (
+    TxMeasurements,
+    measure_acpr,
+    measure_evm,
+    measure_occupied_bandwidth,
+    measure_spectrum,
+    reconstructed_envelope,
+    render_uniform,
+)
+from .report import BistReport, CheckResult, SkewCalibrationReport, Verdict
+
+__all__ = [
+    "BistCampaign",
+    "CampaignResult",
+    "CampaignScenario",
+    "default_converter",
+    "BistConfig",
+    "TransmitterBist",
+    "MaskCheckResult",
+    "MaskViolation",
+    "SpectralMask",
+    "TxMeasurements",
+    "measure_acpr",
+    "measure_evm",
+    "measure_occupied_bandwidth",
+    "measure_spectrum",
+    "reconstructed_envelope",
+    "render_uniform",
+    "BistReport",
+    "CheckResult",
+    "SkewCalibrationReport",
+    "Verdict",
+]

@@ -1,0 +1,207 @@
+"""Structured results produced by the BIST engine.
+
+The BIST is a pass/fail instrument: every run produces a
+:class:`BistReport` that records the calibration outcome, the measurements,
+the individual verdicts against the active waveform profile's limits and the
+overall verdict.  Reports render to a compact human-readable text block for
+logs and to plain dictionaries for programmatic consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ValidationError
+from .masks import MaskCheckResult
+from .measurements import TxMeasurements
+
+__all__ = ["Verdict", "CheckResult", "SkewCalibrationReport", "BistReport"]
+
+
+class Verdict(str, Enum):
+    """Outcome of one check or of the whole BIST run."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    SKIPPED = "skipped"
+
+    @property
+    def passed(self) -> bool:
+        """Whether the verdict counts as passing (skipped checks do not fail)."""
+        return self is not Verdict.FAIL
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One specification check: a measured value against a limit.
+
+    Attributes
+    ----------
+    name:
+        Check identifier (``"acpr"``, ``"evm"``, ``"spectral_mask"``...).
+    verdict:
+        PASS / FAIL / SKIPPED.
+    measured:
+        The measured value (units depend on the check).
+    limit:
+        The limit it was compared against.
+    details:
+        Free-form human-readable detail string.
+    """
+
+    name: str
+    verdict: Verdict
+    measured: float | None = None
+    limit: float | None = None
+    details: str = ""
+
+    def summary(self) -> str:
+        """One-line textual summary of the check."""
+        measured = "n/a" if self.measured is None else f"{self.measured:.3f}"
+        limit = "n/a" if self.limit is None else f"{self.limit:.3f}"
+        text = f"{self.name}: {self.verdict.value.upper()} (measured {measured}, limit {limit})"
+        if self.details:
+            text += f" - {self.details}"
+        return text
+
+
+@dataclass(frozen=True)
+class SkewCalibrationReport:
+    """Outcome of the time-skew estimation step.
+
+    Attributes
+    ----------
+    estimated_delay_seconds:
+        The delay estimate ``D_hat`` the reconstruction used.
+    programmed_delay_seconds:
+        The delay the DCDE was programmed to (the DSP-visible nominal value).
+    true_delay_seconds:
+        The physically realised delay (only known in simulation; ``None``
+        when the engine is driven by real captures).
+    iterations:
+        LMS iterations used.
+    converged:
+        Whether the estimator reported convergence.
+    final_cost:
+        Cost-function value at the estimate.
+    method:
+        Estimator name (``"lms"`` or ``"sine-fit"``).
+    """
+
+    estimated_delay_seconds: float
+    programmed_delay_seconds: float
+    true_delay_seconds: float | None
+    iterations: int
+    converged: bool
+    final_cost: float
+    method: str = "lms"
+
+    @property
+    def estimation_error_seconds(self) -> float | None:
+        """``|D_hat - D|`` when the true delay is known, else ``None``."""
+        if self.true_delay_seconds is None:
+            return None
+        return abs(self.estimated_delay_seconds - self.true_delay_seconds)
+
+    @property
+    def relative_error(self) -> float | None:
+        """``|1 - D_hat / D|`` when the true delay is known, else ``None``."""
+        if self.true_delay_seconds in (None, 0.0):
+            return None
+        return abs(1.0 - self.estimated_delay_seconds / self.true_delay_seconds)
+
+
+@dataclass(frozen=True)
+class BistReport:
+    """Complete result of one BIST execution.
+
+    Attributes
+    ----------
+    profile_name:
+        The waveform profile the transmitter was tested under.
+    calibration:
+        The time-skew calibration report.
+    measurements:
+        The transmitter measurements.
+    checks:
+        The individual specification checks.
+    mask_result:
+        Raw spectral-mask check result (``None`` if the profile has no mask).
+    """
+
+    profile_name: str
+    calibration: SkewCalibrationReport
+    measurements: TxMeasurements
+    checks: tuple
+    mask_result: MaskCheckResult | None = None
+
+    def __post_init__(self) -> None:
+        if not self.checks:
+            raise ValidationError("a BIST report needs at least one check")
+
+    @property
+    def verdict(self) -> Verdict:
+        """Overall verdict: FAIL if any check fails, PASS otherwise."""
+        if any(check.verdict is Verdict.FAIL for check in self.checks):
+            return Verdict.FAIL
+        return Verdict.PASS
+
+    @property
+    def passed(self) -> bool:
+        """Whether the unit under test passed every check."""
+        return self.verdict is Verdict.PASS
+
+    def check(self, name: str) -> CheckResult:
+        """Look up an individual check by name."""
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise ValidationError(f"no check named {name!r} in this report")
+
+    def to_text(self) -> str:
+        """Render the report as a human-readable multi-line string."""
+        lines = [
+            f"BIST report - profile {self.profile_name}: {self.verdict.value.upper()}",
+            (
+                "  skew calibration: D_hat = "
+                f"{self.calibration.estimated_delay_seconds * 1e12:.2f} ps "
+                f"({self.calibration.method}, {self.calibration.iterations} iterations, "
+                f"{'converged' if self.calibration.converged else 'NOT converged'})"
+            ),
+        ]
+        if self.calibration.estimation_error_seconds is not None:
+            lines.append(
+                "  skew error vs true delay: "
+                f"{self.calibration.estimation_error_seconds * 1e12:.3f} ps"
+            )
+        for check in self.checks:
+            lines.append("  " + check.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Render the report as a plain dictionary (JSON-friendly)."""
+        return {
+            "profile": self.profile_name,
+            "verdict": self.verdict.value,
+            "calibration": {
+                "estimated_delay_ps": self.calibration.estimated_delay_seconds * 1e12,
+                "programmed_delay_ps": self.calibration.programmed_delay_seconds * 1e12,
+                "true_delay_ps": (
+                    None
+                    if self.calibration.true_delay_seconds is None
+                    else self.calibration.true_delay_seconds * 1e12
+                ),
+                "iterations": self.calibration.iterations,
+                "converged": self.calibration.converged,
+                "method": self.calibration.method,
+            },
+            "checks": {
+                check.name: {
+                    "verdict": check.verdict.value,
+                    "measured": check.measured,
+                    "limit": check.limit,
+                }
+                for check in self.checks
+            },
+        }

@@ -1,0 +1,31 @@
+"""Calibration of the BP-TIADC: time-skew (LMS and sine-fit) and gain/offset."""
+
+from .cost import (
+    SkewCostFunction,
+    default_evaluation_times,
+    rates_satisfy_uniqueness,
+    search_upper_bound,
+    select_slow_sample_rate,
+    uniqueness_conditions_met,
+)
+from .gain_offset import GainOffsetEstimate, correct_gain_offset, estimate_gain_offset
+from .lms import LmsIterate, LmsSkewEstimate, LmsSkewEstimator
+from .sine_fit import SineFitSkewEstimate, SineFitSkewEstimator, fit_sine_phase
+
+__all__ = [
+    "SkewCostFunction",
+    "default_evaluation_times",
+    "rates_satisfy_uniqueness",
+    "search_upper_bound",
+    "select_slow_sample_rate",
+    "uniqueness_conditions_met",
+    "GainOffsetEstimate",
+    "correct_gain_offset",
+    "estimate_gain_offset",
+    "LmsIterate",
+    "LmsSkewEstimate",
+    "LmsSkewEstimator",
+    "SineFitSkewEstimate",
+    "SineFitSkewEstimator",
+    "fit_sine_phase",
+]

@@ -1,0 +1,284 @@
+"""The time-skew estimation cost function (Section IV-A of the paper).
+
+The key idea of the paper's calibration: acquire the *same* transmitter
+output twice with the same (unknown) inter-channel delay ``D`` but two
+different per-channel rates ``B`` and ``B1`` (the paper uses ``B1 = B/2``),
+reconstruct both acquisitions with a *candidate* delay ``D_hat``, and compare
+the two reconstructions at ``N`` random time instants:
+
+    ``eps(D_hat) = (1/N) * sum_i ( f_B,D_hat(t_i) - f_B1,D_hat(t_i) )^2``   (Eq. 8)
+
+Both reconstructions are wrong in different ways when ``D_hat != D`` (the
+reconstruction error depends on the rate through ``k``), and both become
+correct simultaneously only at ``D_hat = D``, so the cost has a unique
+minimum there — provided the uniqueness conditions (Eq. 9) hold and the
+candidate stays inside ``(0, m)`` where ``m`` is the first delay at which one
+of the kernels blows up.
+
+No knowledge of the transmitted waveform is needed: the cost compares the
+two reconstructions against each other, not against a reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError, ValidationError
+from ..sampling.nonuniform import band_order
+from ..sampling.reconstruction import NonuniformReconstructor, NonuniformSampleSet
+from ..utils.rng import SeedLike, ensure_generator
+from ..utils.validation import check_integer, check_positive
+
+__all__ = [
+    "uniqueness_conditions_met",
+    "rates_satisfy_uniqueness",
+    "select_slow_sample_rate",
+    "search_upper_bound",
+    "default_evaluation_times",
+    "SkewCostFunction",
+]
+
+
+def rates_satisfy_uniqueness(centre_hz: float, fast_rate_hz: float, slow_rate_hz: float) -> bool:
+    """Check conditions (9) for a candidate rate pair before any acquisition.
+
+    Both acquisitions are assumed centred on ``centre_hz`` (the transmitter
+    carrier); the reconstructable band of each acquisition spans its own
+    per-channel rate.
+    """
+    from ..sampling.bandpass import BandpassBand  # local import to avoid cycles at module load
+
+    centre_hz = check_positive(centre_hz, "centre_hz")
+    fast_rate_hz = check_positive(fast_rate_hz, "fast_rate_hz")
+    slow_rate_hz = check_positive(slow_rate_hz, "slow_rate_hz")
+    if slow_rate_hz >= fast_rate_hz:
+        return False
+    fast_band = BandpassBand.from_centre(centre_hz, fast_rate_hz)
+    slow_band = BandpassBand.from_centre(centre_hz, slow_rate_hz)
+    _, k_plus_fast = band_order(fast_band)
+    k_slow, k_plus_slow = band_order(slow_band)
+    lhs = k_plus_fast * fast_rate_hz
+    return not (
+        np.isclose(lhs, k_slow * slow_rate_hz) or np.isclose(lhs, k_plus_slow * slow_rate_hz)
+    )
+
+
+def select_slow_sample_rate(
+    centre_hz: float,
+    fast_rate_hz: float,
+    candidate_ratios=(0.5, 0.48, 0.52, 0.45, 0.55, 0.44, 0.56, 0.6, 0.4),
+) -> float:
+    """Pick a reduced per-channel rate ``B1`` that satisfies conditions (9).
+
+    The paper uses ``B1 = B/2``; for some carrier/bandwidth combinations that
+    exact ratio violates condition (9b), so the engine tries a short list of
+    nearby ratios and returns the first valid one.
+
+    Raises
+    ------
+    CalibrationError
+        If none of the candidate ratios yields a valid rate pair (which would
+        require a pathological configuration).
+    """
+    for ratio in candidate_ratios:
+        slow_rate = ratio * fast_rate_hz
+        if rates_satisfy_uniqueness(centre_hz, fast_rate_hz, slow_rate):
+            return float(slow_rate)
+    raise CalibrationError(
+        "no candidate reduced sampling rate satisfies the uniqueness conditions (Eq. 9); "
+        "adjust the acquisition bandwidth"
+    )
+
+
+def uniqueness_conditions_met(
+    sample_set_fast: NonuniformSampleSet,
+    sample_set_slow: NonuniformSampleSet,
+) -> bool:
+    """Check the paper's conditions (9) for a unique cost-function minimum.
+
+    With ``B`` (fast) and ``B1`` (slow) the per-channel rates and ``k``/``k1``
+    the corresponding band orders, the conditions are
+
+    * ``(k + 1) * B != k1 * B1``           (9a)
+    * ``(k + 1) * B != (k1 + 1) * B1``     (9b)
+
+    (plus ``D`` inside ``(0, m)``, which is checked separately through
+    :func:`search_upper_bound`).
+    """
+    bandwidth_fast = sample_set_fast.band.bandwidth
+    bandwidth_slow = sample_set_slow.band.bandwidth
+    if bandwidth_slow >= bandwidth_fast:
+        raise ValidationError("the second acquisition must use a lower per-channel rate (T1 > T)")
+    _, k_plus_fast = band_order(sample_set_fast.band)
+    k_slow, k_plus_slow = band_order(sample_set_slow.band)
+    lhs = k_plus_fast * bandwidth_fast
+    return not (
+        np.isclose(lhs, k_slow * bandwidth_slow) or np.isclose(lhs, k_plus_slow * bandwidth_slow)
+    )
+
+
+def search_upper_bound(
+    sample_set_fast: NonuniformSampleSet,
+    sample_set_slow: NonuniformSampleSet,
+) -> float:
+    """The bound ``m`` of the search interval ``(0, m)`` for the delay estimate.
+
+    ``m = min( 1 / ((k+1) * B), 1 / ((k1+1) * B1) )`` — the first candidate
+    delay at which one of the two reconstruction kernels becomes unstable,
+    i.e. the first point where the cost function is undefined.
+    """
+    _, k_plus_fast = band_order(sample_set_fast.band)
+    _, k_plus_slow = band_order(sample_set_slow.band)
+    return float(
+        min(
+            1.0 / (k_plus_fast * sample_set_fast.band.bandwidth),
+            1.0 / (k_plus_slow * sample_set_slow.band.bandwidth),
+        )
+    )
+
+
+def default_evaluation_times(
+    sample_set_fast: NonuniformSampleSet,
+    sample_set_slow: NonuniformSampleSet,
+    num_points: int = 300,
+    num_taps: int = 60,
+    seed: SeedLike = None,
+    margin_fraction: float = 0.02,
+) -> np.ndarray:
+    """Draw the ``N`` random evaluation instants used by the cost function.
+
+    The points are drawn uniformly from the interval over which *both*
+    truncated reconstructions have full kernel support (the paper evaluates
+    ``N = 300`` points in ``[470 ns, 1700 ns]`` for its record lengths).
+    """
+    num_points = check_integer(num_points, "num_points", minimum=4)
+    half_span_fast = (num_taps // 2) * sample_set_fast.sample_period
+    half_span_slow = (num_taps // 2) * sample_set_slow.sample_period
+    low = max(
+        sample_set_fast.start_time + half_span_fast,
+        sample_set_slow.start_time + half_span_slow,
+    )
+    high = min(
+        sample_set_fast.end_time - half_span_fast,
+        sample_set_slow.end_time - half_span_slow,
+    )
+    if high <= low:
+        raise CalibrationError(
+            "the two acquisitions do not overlap enough for the requested kernel length; "
+            "acquire more samples or reduce num_taps"
+        )
+    span = high - low
+    low += margin_fraction * span
+    high -= margin_fraction * span
+    rng = ensure_generator(seed)
+    return np.sort(rng.uniform(low, high, size=num_points))
+
+
+@dataclass
+class SkewCostFunction:
+    """Callable implementing Eq. (8): ``eps(D_hat)`` for a pair of acquisitions.
+
+    Parameters
+    ----------
+    sample_set_fast:
+        Acquisition at the full per-channel rate ``B`` (period ``T``).
+    sample_set_slow:
+        Acquisition of the *same* signal at the reduced rate ``B1`` (period
+        ``T1 > T``), with the same physical delay.
+    evaluation_times:
+        The ``N`` time instants at which the two reconstructions are
+        compared; drawn by :func:`default_evaluation_times` when omitted.
+    num_taps:
+        Kernel truncation ``nw`` used by both reconstructions.
+    window:
+        Reconstruction window name.
+    kaiser_beta:
+        Kaiser shape parameter.
+    num_evaluation_points:
+        Number of random instants when ``evaluation_times`` is omitted.
+    seed:
+        Randomness control for the default evaluation instants.
+    """
+
+    sample_set_fast: NonuniformSampleSet
+    sample_set_slow: NonuniformSampleSet
+    evaluation_times: np.ndarray | None = None
+    num_taps: int = 60
+    window: str = "kaiser"
+    kaiser_beta: float = 8.0
+    num_evaluation_points: int = 300
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sample_set_fast, NonuniformSampleSet):
+            raise ValidationError("sample_set_fast must be a NonuniformSampleSet")
+        if not isinstance(self.sample_set_slow, NonuniformSampleSet):
+            raise ValidationError("sample_set_slow must be a NonuniformSampleSet")
+        if self.sample_set_slow.sample_period <= self.sample_set_fast.sample_period:
+            raise ValidationError(
+                "sample_set_slow must have the larger sampling period (T1 > T); "
+                "swap the arguments"
+            )
+        if not uniqueness_conditions_met(self.sample_set_fast, self.sample_set_slow):
+            raise CalibrationError(
+                "the chosen rate pair violates the uniqueness conditions (Eq. 9); "
+                "pick a different B1"
+            )
+        if self.evaluation_times is None:
+            self.evaluation_times = default_evaluation_times(
+                self.sample_set_fast,
+                self.sample_set_slow,
+                num_points=self.num_evaluation_points,
+                num_taps=self.num_taps,
+                seed=self.seed,
+            )
+        else:
+            self.evaluation_times = np.asarray(self.evaluation_times, dtype=float)
+            if self.evaluation_times.ndim != 1 or self.evaluation_times.size < 4:
+                raise ValidationError("evaluation_times must be a 1-D array of at least 4 instants")
+
+    @property
+    def upper_bound(self) -> float:
+        """The search bound ``m`` for candidate delays."""
+        return search_upper_bound(self.sample_set_fast, self.sample_set_slow)
+
+    def reconstruct_fast(self, candidate_delay: float) -> np.ndarray:
+        """Reconstruction from the fast acquisition using ``candidate_delay``."""
+        reconstructor = NonuniformReconstructor(
+            self.sample_set_fast,
+            assumed_delay=candidate_delay,
+            num_taps=self.num_taps,
+            window=self.window,
+            kaiser_beta=self.kaiser_beta,
+        )
+        return reconstructor.evaluate(self.evaluation_times)
+
+    def reconstruct_slow(self, candidate_delay: float) -> np.ndarray:
+        """Reconstruction from the slow acquisition using ``candidate_delay``."""
+        reconstructor = NonuniformReconstructor(
+            self.sample_set_slow,
+            assumed_delay=candidate_delay,
+            num_taps=self.num_taps,
+            window=self.window,
+            kaiser_beta=self.kaiser_beta,
+        )
+        return reconstructor.evaluate(self.evaluation_times)
+
+    def __call__(self, candidate_delay: float) -> float:
+        """Evaluate Eq. (8) at ``candidate_delay``."""
+        candidate_delay = check_positive(candidate_delay, "candidate_delay")
+        if candidate_delay >= self.upper_bound:
+            raise CalibrationError(
+                f"candidate delay {candidate_delay} s is outside the search interval "
+                f"(0, {self.upper_bound} s) where the cost function is defined"
+            )
+        fast = self.reconstruct_fast(candidate_delay)
+        slow = self.reconstruct_slow(candidate_delay)
+        return float(np.mean((fast - slow) ** 2))
+
+    def sweep(self, candidate_delays) -> np.ndarray:
+        """Evaluate the cost over an array of candidate delays (Fig. 5 data)."""
+        candidate_delays = np.asarray(candidate_delays, dtype=float)
+        return np.array([self(delay) for delay in candidate_delays])

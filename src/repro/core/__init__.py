@@ -1,0 +1,48 @@
+"""Convenience re-exports of the paper's primary contribution surface.
+
+``repro.core`` gathers, in one flat namespace, the objects a user needs to
+run the paper's experiments end to end: the Kohlenberg nonuniform sampling
+machinery, the BP-TIADC model, the LMS time-skew estimator and the BIST
+engine.  Everything here is a re-export; the implementations live in the
+focused subpackages.
+"""
+
+from ..adc.tiadc import BpTiadc, DigitallyControlledDelayElement
+from ..bist.campaign import BistCampaign, CampaignScenario, default_converter
+from ..bist.engine import BistConfig, TransmitterBist
+from ..bist.report import BistReport
+from ..calibration.cost import SkewCostFunction
+from ..calibration.lms import LmsSkewEstimator
+from ..calibration.sine_fit import SineFitSkewEstimator
+from ..sampling.bandpass import BandpassBand
+from ..sampling.nonuniform import KohlenbergKernel, optimal_delay
+from ..sampling.reconstruction import (
+    IdealNonuniformSampler,
+    NonuniformReconstructor,
+    NonuniformSampleSet,
+)
+from ..transmitter.chain import HomodyneTransmitter
+from ..transmitter.config import ImpairmentConfig, TransmitterConfig
+
+__all__ = [
+    "BpTiadc",
+    "DigitallyControlledDelayElement",
+    "BistCampaign",
+    "CampaignScenario",
+    "default_converter",
+    "BistConfig",
+    "TransmitterBist",
+    "BistReport",
+    "SkewCostFunction",
+    "LmsSkewEstimator",
+    "SineFitSkewEstimator",
+    "BandpassBand",
+    "KohlenbergKernel",
+    "optimal_delay",
+    "IdealNonuniformSampler",
+    "NonuniformReconstructor",
+    "NonuniformSampleSet",
+    "HomodyneTransmitter",
+    "ImpairmentConfig",
+    "TransmitterConfig",
+]

@@ -1,0 +1,75 @@
+"""Sample-rate conversion helpers.
+
+The measurement chain occasionally needs to change sample rates: the
+reconstructed transmitter output is evaluated on whatever grid the BIST engine
+chooses, while EVM demodulation wants an integer number of samples per symbol.
+Rational resampling (polyphase-free, windowed-sinc based) and arbitrary-ratio
+resampling via band-limited interpolation are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..errors import ValidationError
+from ..utils.validation import check_1d_array, check_integer, check_positive
+from .interpolation import sinc_interpolate
+
+__all__ = [
+    "upsample",
+    "downsample",
+    "resample_rational",
+    "resample_to_rate",
+]
+
+
+def upsample(samples, factor: int) -> np.ndarray:
+    """Zero-stuff ``samples`` by an integer factor (no filtering)."""
+    samples = check_1d_array(samples, "samples")
+    factor = check_integer(factor, "factor", minimum=1)
+    output = np.zeros(samples.size * factor, dtype=samples.dtype)
+    output[::factor] = samples
+    return output
+
+
+def downsample(samples, factor: int, offset: int = 0) -> np.ndarray:
+    """Keep every ``factor``-th sample starting at ``offset`` (no filtering)."""
+    samples = check_1d_array(samples, "samples")
+    factor = check_integer(factor, "factor", minimum=1)
+    offset = check_integer(offset, "offset", minimum=0)
+    if offset >= factor:
+        raise ValidationError(f"offset must be smaller than factor, got {offset} >= {factor}")
+    return samples[offset::factor]
+
+
+def resample_rational(samples, up: int, down: int) -> np.ndarray:
+    """Resample by the rational factor ``up / down`` with anti-alias filtering."""
+    samples = check_1d_array(samples, "samples")
+    up = check_integer(up, "up", minimum=1)
+    down = check_integer(down, "down", minimum=1)
+    if up == down:
+        return samples.copy()
+    return sp_signal.resample_poly(samples, up, down)
+
+
+def resample_to_rate(
+    samples,
+    input_rate: float,
+    output_rate: float,
+    num_taps: int = 32,
+) -> np.ndarray:
+    """Resample a record to an arbitrary output rate via sinc interpolation.
+
+    The output spans the same time interval as the input (from the first
+    sample up to, but excluding, one input period past the last).
+    """
+    samples = check_1d_array(samples, "samples")
+    input_rate = check_positive(input_rate, "input_rate")
+    output_rate = check_positive(output_rate, "output_rate")
+    duration = samples.size / input_rate
+    output_count = int(np.floor(duration * output_rate))
+    if output_count < 1:
+        raise ValidationError("record too short for the requested output rate")
+    times = np.arange(output_count) / output_rate
+    return sinc_interpolate(samples, input_rate, times, num_taps=num_taps)

@@ -1,0 +1,262 @@
+"""Power spectral density estimation and band-power measurements.
+
+Spectral-mask compliance is the paper's motivating use case for the BIST
+architecture: once the transmitter output has been reconstructed from the
+nonuniform samples, the DSP computes its spectrum and checks it against the
+emission mask of the active standard.  This module provides the PSD
+estimators (periodogram and Welch), band-power integration, occupied
+bandwidth and adjacent-channel power ratio used by :mod:`repro.bist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError, ValidationError
+from ..utils.validation import check_1d_array, check_in_range, check_integer, check_positive
+from ..utils.windows import make_window
+
+__all__ = [
+    "SpectrumEstimate",
+    "periodogram",
+    "welch_psd",
+    "band_power",
+    "total_power",
+    "occupied_bandwidth",
+    "adjacent_channel_power_ratio",
+    "peak_frequency",
+]
+
+
+@dataclass(frozen=True)
+class SpectrumEstimate:
+    """A one-sided (real input) or two-sided (complex input) PSD estimate.
+
+    Attributes
+    ----------
+    frequencies_hz:
+        Frequency bins (Hz).  Monotonically increasing.
+    psd:
+        Power spectral density per bin, in linear units (power per Hz).
+    resolution_hz:
+        Bin spacing.
+    two_sided:
+        Whether the estimate covers negative frequencies (complex input).
+    """
+
+    frequencies_hz: np.ndarray
+    psd: np.ndarray
+    resolution_hz: float
+    two_sided: bool
+
+    def __post_init__(self) -> None:
+        freqs = check_1d_array(self.frequencies_hz, "frequencies_hz", dtype=float)
+        psd = check_1d_array(self.psd, "psd", dtype=float)
+        if freqs.size != psd.size:
+            raise ValidationError("frequencies_hz and psd must have the same length")
+        if np.any(np.diff(freqs) <= 0):
+            raise ValidationError("frequencies_hz must be strictly increasing")
+        object.__setattr__(self, "frequencies_hz", freqs)
+        object.__setattr__(self, "psd", psd)
+
+    @property
+    def psd_dbhz(self) -> np.ndarray:
+        """PSD in dB (relative, per Hz); zero-power bins map to -inf."""
+        with np.errstate(divide="ignore"):
+            return 10.0 * np.log10(self.psd)
+
+    def normalised_db(self) -> np.ndarray:
+        """PSD in dB relative to the peak bin (peak at 0 dB)."""
+        peak = float(np.max(self.psd))
+        if peak <= 0.0:
+            raise MeasurementError("cannot normalise an all-zero spectrum")
+        with np.errstate(divide="ignore"):
+            return 10.0 * np.log10(self.psd / peak)
+
+
+def periodogram(
+    samples,
+    sample_rate: float,
+    window: str = "hann",
+    kaiser_beta: float = 8.0,
+) -> SpectrumEstimate:
+    """Single-record windowed periodogram PSD estimate.
+
+    The window is compensated for its power loss so that
+    :func:`total_power` of the estimate matches the time-domain mean square
+    of the record (Parseval-consistent).
+    """
+    samples = check_1d_array(samples, "samples", min_length=8)
+    sample_rate = check_positive(sample_rate, "sample_rate")
+    n = samples.size
+    taper = make_window(window, n, beta=kaiser_beta)
+    power_compensation = np.sum(taper**2)
+    windowed = samples * taper
+
+    if np.iscomplexobj(samples):
+        spectrum = np.fft.fftshift(np.fft.fft(windowed))
+        frequencies = np.fft.fftshift(np.fft.fftfreq(n, d=1.0 / sample_rate))
+        psd = np.abs(spectrum) ** 2 / (sample_rate * power_compensation)
+        return SpectrumEstimate(frequencies, psd, sample_rate / n, two_sided=True)
+
+    spectrum = np.fft.rfft(windowed)
+    frequencies = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    psd = np.abs(spectrum) ** 2 / (sample_rate * power_compensation)
+    # One-sided estimate: double all bins except DC and (if present) Nyquist.
+    psd *= 2.0
+    psd[0] /= 2.0
+    if n % 2 == 0:
+        psd[-1] /= 2.0
+    return SpectrumEstimate(frequencies, psd, sample_rate / n, two_sided=False)
+
+
+def welch_psd(
+    samples,
+    sample_rate: float,
+    segment_length: int = 1024,
+    overlap_fraction: float = 0.5,
+    window: str = "hann",
+    kaiser_beta: float = 8.0,
+) -> SpectrumEstimate:
+    """Welch-averaged PSD estimate (reduced variance vs a single periodogram)."""
+    samples = check_1d_array(samples, "samples", min_length=8)
+    sample_rate = check_positive(sample_rate, "sample_rate")
+    segment_length = check_integer(segment_length, "segment_length", minimum=8)
+    overlap_fraction = check_in_range(
+        overlap_fraction, "overlap_fraction", 0.0, 1.0, inclusive_high=False
+    )
+    if segment_length > samples.size:
+        segment_length = samples.size
+    step = max(1, int(round(segment_length * (1.0 - overlap_fraction))))
+
+    accumulated = None
+    count = 0
+    for start in range(0, samples.size - segment_length + 1, step):
+        segment = samples[start : start + segment_length]
+        estimate = periodogram(segment, sample_rate, window=window, kaiser_beta=kaiser_beta)
+        if accumulated is None:
+            accumulated = estimate.psd.copy()
+            frequencies = estimate.frequencies_hz
+            two_sided = estimate.two_sided
+        else:
+            accumulated += estimate.psd
+        count += 1
+    if accumulated is None or count == 0:
+        raise MeasurementError("record too short for the requested Welch segmentation")
+    return SpectrumEstimate(
+        frequencies, accumulated / count, sample_rate / segment_length, two_sided=two_sided
+    )
+
+
+def band_power(estimate: SpectrumEstimate, low_hz: float, high_hz: float) -> float:
+    """Integrate PSD power over ``[low_hz, high_hz]`` (rectangle rule)."""
+    if high_hz <= low_hz:
+        raise ValidationError(f"high_hz ({high_hz}) must exceed low_hz ({low_hz})")
+    mask = (estimate.frequencies_hz >= low_hz) & (estimate.frequencies_hz <= high_hz)
+    if not np.any(mask):
+        return 0.0
+    return float(np.sum(estimate.psd[mask]) * estimate.resolution_hz)
+
+
+def total_power(estimate: SpectrumEstimate) -> float:
+    """Total power of the estimate (integral of the PSD over all bins)."""
+    return float(np.sum(estimate.psd) * estimate.resolution_hz)
+
+
+def peak_frequency(estimate: SpectrumEstimate) -> float:
+    """Frequency of the strongest PSD bin."""
+    return float(estimate.frequencies_hz[int(np.argmax(estimate.psd))])
+
+
+def occupied_bandwidth(
+    estimate: SpectrumEstimate,
+    power_fraction: float = 0.99,
+) -> tuple[float, float, float]:
+    """Occupied bandwidth containing ``power_fraction`` of the total power.
+
+    Returns
+    -------
+    tuple
+        ``(bandwidth_hz, low_edge_hz, high_edge_hz)`` of the smallest
+        symmetric-in-power interval (equal residual power excluded from each
+        side) that contains the requested fraction of the total power.
+    """
+    power_fraction = check_in_range(
+        power_fraction, "power_fraction", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+    )
+    psd = estimate.psd
+    total = float(np.sum(psd))
+    if total <= 0.0:
+        raise MeasurementError("cannot compute occupied bandwidth of an all-zero spectrum")
+    cumulative = np.cumsum(psd) / total
+    tail = (1.0 - power_fraction) / 2.0
+    low_index = int(np.searchsorted(cumulative, tail))
+    high_index = int(np.searchsorted(cumulative, 1.0 - tail))
+    high_index = min(high_index, psd.size - 1)
+    low_edge = float(estimate.frequencies_hz[low_index])
+    high_edge = float(estimate.frequencies_hz[high_index])
+    return high_edge - low_edge, low_edge, high_edge
+
+
+def adjacent_channel_power_ratio(
+    estimate: SpectrumEstimate,
+    channel_centre_hz: float,
+    channel_bandwidth_hz: float,
+    offset_hz: float | None = None,
+    adjacent_bandwidth_hz: float | None = None,
+) -> dict[str, float]:
+    """Adjacent-channel power ratio (ACPR) in dB for both adjacent channels.
+
+    Parameters
+    ----------
+    estimate:
+        PSD estimate of the transmitter output (two-sided or one-sided).
+    channel_centre_hz:
+        Centre frequency of the wanted channel within the estimate.
+    channel_bandwidth_hz:
+        Integration bandwidth of the wanted channel.
+    offset_hz:
+        Centre-to-centre offset of the adjacent channels; defaults to the
+        channel bandwidth (contiguous channels).
+    adjacent_bandwidth_hz:
+        Integration bandwidth of the adjacent channels; defaults to the
+        wanted-channel bandwidth.
+
+    Returns
+    -------
+    dict
+        Keys ``"lower_db"``, ``"upper_db"`` and ``"worst_db"``; values are
+        adjacent-to-main power ratios in dB (more negative is better).
+    """
+    channel_bandwidth_hz = check_positive(channel_bandwidth_hz, "channel_bandwidth_hz")
+    offset_hz = channel_bandwidth_hz if offset_hz is None else check_positive(offset_hz, "offset_hz")
+    adjacent_bandwidth_hz = (
+        channel_bandwidth_hz
+        if adjacent_bandwidth_hz is None
+        else check_positive(adjacent_bandwidth_hz, "adjacent_bandwidth_hz")
+    )
+    half_main = channel_bandwidth_hz / 2.0
+    half_adjacent = adjacent_bandwidth_hz / 2.0
+    main = band_power(estimate, channel_centre_hz - half_main, channel_centre_hz + half_main)
+    if main <= 0.0:
+        raise MeasurementError("no power found in the main channel; check the centre frequency")
+    lower = band_power(
+        estimate,
+        channel_centre_hz - offset_hz - half_adjacent,
+        channel_centre_hz - offset_hz + half_adjacent,
+    )
+    upper = band_power(
+        estimate,
+        channel_centre_hz + offset_hz - half_adjacent,
+        channel_centre_hz + offset_hz + half_adjacent,
+    )
+    floor = np.finfo(float).tiny
+    lower_db = 10.0 * np.log10(max(lower, floor) / main)
+    upper_db = 10.0 * np.log10(max(upper, floor) / main)
+    return {
+        "lower_db": float(lower_db),
+        "upper_db": float(upper_db),
+        "worst_db": float(max(lower_db, upper_db)),
+    }

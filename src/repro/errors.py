@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so downstream users can catch a single base class.  More
+specific subclasses are provided for the main failure domains: invalid
+configuration, sampling-theory violations (e.g. a delay ``D`` that makes the
+Kohlenberg reconstruction filter unstable), calibration failures and BIST
+measurement problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "SamplingError",
+    "AliasingError",
+    "DelayConstraintError",
+    "ReconstructionError",
+    "CalibrationError",
+    "ConvergenceError",
+    "MeasurementError",
+    "MaskError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or incomplete."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation.
+
+    Inherits from :class:`ValueError` so call sites that expect standard
+    Python semantics (``except ValueError``) keep working.
+    """
+
+
+class SamplingError(ReproError):
+    """Base class for errors related to bandpass sampling theory."""
+
+
+class AliasingError(SamplingError):
+    """A requested uniform bandpass sampling rate causes spectral aliasing."""
+
+
+class DelayConstraintError(SamplingError):
+    """The inter-channel delay ``D`` violates the Kohlenberg constraints.
+
+    The second-order nonuniform reconstruction kernel contains terms divided
+    by ``sin(k * pi * B * D)`` and ``sin((k + 1) * pi * B * D)``; delays that
+    zero either denominator (Eq. 3 of the paper) make the filter unstable.
+    """
+
+
+class ReconstructionError(SamplingError):
+    """Signal reconstruction from nonuniform samples failed."""
+
+
+class CalibrationError(ReproError):
+    """Base class for calibration (time-skew / gain / offset) failures."""
+
+
+class ConvergenceError(CalibrationError):
+    """An iterative estimator failed to converge within its iteration budget."""
+
+
+class MeasurementError(ReproError):
+    """A BIST measurement could not be computed from the acquired data."""
+
+
+class MaskError(ReproError):
+    """A spectral mask definition is invalid (e.g. unsorted breakpoints)."""

@@ -1,0 +1,33 @@
+"""Behavioural RF blocks: PA models, IQ impairments, noise, LO and analog filters."""
+
+from .amplifier import (
+    Amplifier,
+    IdealAmplifier,
+    PolynomialAmplifier,
+    RappAmplifier,
+    SalehAmplifier,
+)
+from .filters import AnalogBandpass, AnalogLowpass
+from .impairments import DcOffset, IqImbalance, image_rejection_ratio_db
+from .mixer import QuadratureModulator
+from .noise import AdditiveWhiteNoise, add_noise_for_snr, thermal_noise_power
+from .oscillator import LocalOscillator, PhaseNoiseModel
+
+__all__ = [
+    "Amplifier",
+    "IdealAmplifier",
+    "PolynomialAmplifier",
+    "RappAmplifier",
+    "SalehAmplifier",
+    "AnalogBandpass",
+    "AnalogLowpass",
+    "DcOffset",
+    "IqImbalance",
+    "image_rejection_ratio_db",
+    "QuadratureModulator",
+    "AdditiveWhiteNoise",
+    "add_noise_for_snr",
+    "thermal_noise_power",
+    "LocalOscillator",
+    "PhaseNoiseModel",
+]

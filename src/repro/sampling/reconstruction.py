@@ -1,0 +1,329 @@
+"""Practical reconstruction from second-order nonuniform samples.
+
+Exact reconstruction (Eq. 1 of the paper) needs an infinite sum; the
+practical reconstructor (Eq. 6) truncates it to ``nw + 1`` taps centred on
+the evaluation instant and windows the truncated kernel (the paper uses 61
+taps and a Kaiser window).  This module provides:
+
+* :class:`NonuniformSampleSet` — the container for the two interleaved
+  uniform sample sequences (``f(nT)`` and ``f(nT + D)``) plus their timing
+  metadata;
+* :class:`IdealNonuniformSampler` — samples any
+  :class:`~repro.signals.passband.AnalogSignal` without converter
+  impairments (the theory-level sampler used by unit tests and by the
+  sensitivity analysis); the impaired hardware model lives in
+  :mod:`repro.adc.tiadc`;
+* :class:`NonuniformReconstructor` — evaluates the truncated, windowed
+  Kohlenberg expansion at arbitrary time instants, for any *assumed* delay
+  ``D_hat`` (the assumed delay is deliberately decoupled from the true delay
+  used during acquisition, because estimating that true delay is exactly the
+  calibration problem of Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import ReconstructionError, ValidationError
+from ..signals.passband import AnalogSignal
+from ..utils.validation import check_1d_array, check_integer, check_positive
+from .bandpass import BandpassBand
+from .nonuniform import KohlenbergKernel
+
+__all__ = [
+    "NonuniformSampleSet",
+    "IdealNonuniformSampler",
+    "NonuniformReconstructor",
+    "reconstruct",
+]
+
+
+@dataclass(frozen=True)
+class NonuniformSampleSet:
+    """Two interleaved uniform sample sequences of one analog waveform.
+
+    Attributes
+    ----------
+    on_grid:
+        Samples taken at ``start_time + n * sample_period`` ("channel 0").
+    delayed:
+        Samples taken at ``start_time + n * sample_period + delay``
+        ("channel 1").
+    sample_period:
+        Per-sequence sampling period ``T`` (seconds); the per-channel rate is
+        ``1 / T`` and equals the reconstructable bandwidth ``B``.
+    delay:
+        The *true* inter-sequence delay ``D`` used during acquisition.  A
+        real BIST does not know this value precisely — that is what the
+        calibration estimates — but the simulation keeps it for reference
+        and for computing estimation errors.
+    start_time:
+        Absolute time of ``on_grid[0]``.
+    band:
+        The bandpass support the acquisition was configured for.
+    """
+
+    on_grid: np.ndarray
+    delayed: np.ndarray
+    sample_period: float
+    delay: float
+    start_time: float
+    band: BandpassBand
+
+    def __post_init__(self) -> None:
+        on_grid = check_1d_array(self.on_grid, "on_grid", dtype=float)
+        delayed = check_1d_array(self.delayed, "delayed", dtype=float)
+        if on_grid.size != delayed.size:
+            raise ValidationError("on_grid and delayed must have the same number of samples")
+        sample_period = check_positive(self.sample_period, "sample_period")
+        delay = check_positive(self.delay, "delay")
+        if not isinstance(self.band, BandpassBand):
+            raise ValidationError("band must be a BandpassBand")
+        object.__setattr__(self, "on_grid", on_grid)
+        object.__setattr__(self, "delayed", delayed)
+        object.__setattr__(self, "sample_period", sample_period)
+        object.__setattr__(self, "delay", delay)
+        object.__setattr__(self, "start_time", float(self.start_time))
+
+    def __len__(self) -> int:
+        return int(self.on_grid.size)
+
+    @property
+    def sample_rate(self) -> float:
+        """Per-channel sampling rate ``1 / T``."""
+        return 1.0 / self.sample_period
+
+    @property
+    def duration(self) -> float:
+        """Time spanned by the on-grid sequence."""
+        return self.on_grid.size * self.sample_period
+
+    @property
+    def end_time(self) -> float:
+        """Time just past the last on-grid sample."""
+        return self.start_time + self.duration
+
+    def on_grid_times(self) -> np.ndarray:
+        """Sampling instants of the on-grid sequence."""
+        return self.start_time + np.arange(self.on_grid.size) * self.sample_period
+
+    def delayed_times(self) -> np.ndarray:
+        """Sampling instants of the delayed sequence (uses the true delay)."""
+        return self.on_grid_times() + self.delay
+
+    def with_channels(self, on_grid, delayed) -> "NonuniformSampleSet":
+        """Copy of this sample set with replaced channel data (same metadata)."""
+        return replace(self, on_grid=np.asarray(on_grid, dtype=float), delayed=np.asarray(delayed, dtype=float))
+
+
+@dataclass(frozen=True)
+class IdealNonuniformSampler:
+    """Impairment-free second-order nonuniform sampler.
+
+    Samples an :class:`~repro.signals.passband.AnalogSignal` at the two
+    interleaved time grids.  The per-channel rate is taken equal to the
+    band's width ``B`` (``T = 1/B``), which is the operating point of the
+    paper; a different rate can be requested explicitly to build the
+    lower-rate acquisition (``B1 = B/2``) that the LMS cost function needs.
+
+    Parameters
+    ----------
+    band:
+        Bandpass support to acquire.
+    delay:
+        True inter-channel delay ``D`` applied at acquisition time.
+    sample_rate:
+        Per-channel rate; defaults to ``band.bandwidth``.
+    """
+
+    band: BandpassBand
+    delay: float
+    sample_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.band, BandpassBand):
+            raise ValidationError("band must be a BandpassBand")
+        delay = check_positive(self.delay, "delay")
+        rate = self.band.bandwidth if self.sample_rate is None else check_positive(self.sample_rate, "sample_rate")
+        object.__setattr__(self, "delay", delay)
+        object.__setattr__(self, "sample_rate", rate)
+
+    @property
+    def sample_period(self) -> float:
+        """Per-channel sampling period ``T``."""
+        return 1.0 / self.sample_rate
+
+    def acquire(
+        self,
+        signal: AnalogSignal,
+        num_samples: int,
+        start_time: float = 0.0,
+    ) -> NonuniformSampleSet:
+        """Acquire ``num_samples`` pairs of nonuniform samples of ``signal``."""
+        num_samples = check_integer(num_samples, "num_samples", minimum=2)
+        grid = float(start_time) + np.arange(num_samples) * self.sample_period
+        on_grid = signal.evaluate(grid)
+        delayed = signal.evaluate(grid + self.delay)
+        # The reconstructable bandwidth equals the per-channel rate.  When the
+        # sampler runs below the configured band's width (the B1 = B/2
+        # acquisition of the LMS scheme) the effective band stays centred on
+        # the configured band — the signal must of course fit inside it.
+        if np.isclose(self.sample_rate, self.band.bandwidth):
+            effective_band = self.band
+        else:
+            effective_band = BandpassBand.from_centre(self.band.centre, self.sample_rate)
+        return NonuniformSampleSet(
+            on_grid=on_grid,
+            delayed=delayed,
+            sample_period=self.sample_period,
+            delay=self.delay,
+            start_time=float(start_time),
+            band=effective_band,
+        )
+
+
+class NonuniformReconstructor:
+    """Truncated, windowed Kohlenberg reconstruction (Eq. 6 of the paper).
+
+    Parameters
+    ----------
+    sample_set:
+        The acquired nonuniform samples.
+    assumed_delay:
+        The delay estimate ``D_hat`` used to build the kernel *and* to place
+        the delayed samples on the time axis.  Defaults to the sample set's
+        true delay (i.e. perfect knowledge).
+    num_taps:
+        ``nw``: the number of sample pairs on each side of the evaluation
+        instant is ``nw / 2`` (the paper's 61-tap filter corresponds to
+        ``nw = 60``).
+    window:
+        Name of the taper applied over the truncated kernel support
+        (``"kaiser"``, ``"hann"``, ``"hamming"``, ``"blackman"``,
+        ``"rectangular"``).
+    kaiser_beta:
+        Kaiser shape parameter when ``window == "kaiser"``.
+    """
+
+    def __init__(
+        self,
+        sample_set: NonuniformSampleSet,
+        assumed_delay: float | None = None,
+        num_taps: int = 60,
+        window: str = "kaiser",
+        kaiser_beta: float = 8.0,
+    ) -> None:
+        if not isinstance(sample_set, NonuniformSampleSet):
+            raise ValidationError("sample_set must be a NonuniformSampleSet")
+        self._samples = sample_set
+        self._assumed_delay = (
+            sample_set.delay if assumed_delay is None else check_positive(assumed_delay, "assumed_delay")
+        )
+        self._num_taps = check_integer(num_taps, "num_taps", minimum=2)
+        if self._num_taps % 2 != 0:
+            raise ValidationError("num_taps (nw) must be even; the filter then has nw + 1 taps")
+        self._window = str(window)
+        self._kaiser_beta = float(kaiser_beta)
+        self._kernel = KohlenbergKernel(sample_set.band, self._assumed_delay)
+
+    @property
+    def assumed_delay(self) -> float:
+        """The delay estimate ``D_hat`` this reconstructor was built with."""
+        return self._assumed_delay
+
+    @property
+    def kernel(self) -> KohlenbergKernel:
+        """The underlying Kohlenberg kernel."""
+        return self._kernel
+
+    @property
+    def num_taps(self) -> int:
+        """The truncation parameter ``nw``."""
+        return self._num_taps
+
+    def valid_time_range(self) -> tuple[float, float]:
+        """Time interval over which the truncated sum has full support.
+
+        Evaluating outside this interval silently degrades accuracy because
+        part of the kernel support falls off the acquired record.
+        """
+        half_span = (self._num_taps // 2) * self._samples.sample_period
+        return (
+            self._samples.start_time + half_span,
+            self._samples.end_time - half_span - self._assumed_delay,
+        )
+
+    def evaluate(self, times) -> np.ndarray:
+        """Evaluate the reconstructed waveform at arbitrary time instants.
+
+        Implements Eq. (6): for each requested time ``t`` the sum runs over
+        the ``nw + 1`` sample pairs nearest to ``t``, each contribution being
+        ``f(nT) * s(t - nT) + f(nT + D_hat) * s(nT + D_hat - t)``, windowed
+        across the truncated support.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        samples = self._samples
+        period = samples.sample_period
+        half = self._num_taps // 2
+
+        # Index of the on-grid sample nearest to each requested time.
+        centre_index = np.round((times - samples.start_time) / period).astype(np.int64)
+        offsets = np.arange(-half, half + 1)
+        index_matrix = centre_index[:, None] + offsets[None, :]
+        valid = (index_matrix >= 0) & (index_matrix < len(samples))
+        clipped = np.clip(index_matrix, 0, len(samples) - 1)
+
+        grid_times = samples.start_time + clipped * period
+        # Kernel arguments for the two sequences (Eq. 1 / Eq. 6).
+        argument_on_grid = times[:, None] - grid_times
+        argument_delayed = grid_times + self._assumed_delay - times[:, None]
+
+        taper = self._taper(argument_on_grid, half * period)
+
+        contributions = (
+            samples.on_grid[clipped] * self._kernel.s(argument_on_grid)
+            + samples.delayed[clipped] * self._kernel.s(argument_delayed)
+        )
+        contributions = np.where(valid, contributions * taper, 0.0)
+        return np.sum(contributions, axis=1)
+
+    def _taper(self, offsets: np.ndarray, half_span: float) -> np.ndarray:
+        """Evaluate the reconstruction window over the truncated support."""
+        window = self._window.lower()
+        x = np.clip(np.abs(offsets) / (half_span + self._samples.sample_period), 0.0, 1.0)
+        if window in ("rectangular", "boxcar", "rect"):
+            return np.ones_like(x)
+        if window == "hann":
+            return 0.5 + 0.5 * np.cos(np.pi * x)
+        if window == "hamming":
+            return 0.54 + 0.46 * np.cos(np.pi * x)
+        if window == "blackman":
+            return 0.42 + 0.5 * np.cos(np.pi * x) + 0.08 * np.cos(2.0 * np.pi * x)
+        if window == "kaiser":
+            argument = self._kaiser_beta * np.sqrt(np.clip(1.0 - x**2, 0.0, None))
+            return np.i0(argument) / np.i0(self._kaiser_beta)
+        raise ReconstructionError(f"unknown reconstruction window {self._window!r}")
+
+    def __call__(self, times) -> np.ndarray:
+        return self.evaluate(times)
+
+
+def reconstruct(
+    sample_set: NonuniformSampleSet,
+    times,
+    assumed_delay: float | None = None,
+    num_taps: int = 60,
+    window: str = "kaiser",
+    kaiser_beta: float = 8.0,
+) -> np.ndarray:
+    """One-shot functional wrapper around :class:`NonuniformReconstructor`."""
+    reconstructor = NonuniformReconstructor(
+        sample_set,
+        assumed_delay=assumed_delay,
+        num_taps=num_taps,
+        window=window,
+        kaiser_beta=kaiser_beta,
+    )
+    return reconstructor.evaluate(times)

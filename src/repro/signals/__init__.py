@@ -1,0 +1,61 @@
+"""Waveform generation: constellations, symbol sources, pulse shaping, signals."""
+
+from .baseband import ComplexEnvelope
+from .constellations import (
+    AVAILABLE_CONSTELLATIONS,
+    Constellation,
+    bpsk,
+    get_constellation,
+    psk,
+    qam,
+    qpsk,
+)
+from .multitone import ToneSignal, multitone_in_band, single_tone
+from .passband import AnalogSignal, CallableSignal, CompositeSignal, ModulatedPassbandSignal
+from .pulse_shaping import (
+    PulseShaper,
+    gaussian_pulse_taps,
+    raised_cosine_taps,
+    root_raised_cosine_taps,
+)
+from .standards import PROFILES, WaveformProfile, get_profile, list_profiles
+from .symbols import (
+    PRBS_POLYNOMIALS,
+    SymbolSource,
+    prbs_bits,
+    prbs_sequence,
+    random_bits,
+    random_symbols,
+)
+
+__all__ = [
+    "ComplexEnvelope",
+    "AVAILABLE_CONSTELLATIONS",
+    "Constellation",
+    "bpsk",
+    "get_constellation",
+    "psk",
+    "qam",
+    "qpsk",
+    "ToneSignal",
+    "multitone_in_band",
+    "single_tone",
+    "AnalogSignal",
+    "CallableSignal",
+    "CompositeSignal",
+    "ModulatedPassbandSignal",
+    "PulseShaper",
+    "gaussian_pulse_taps",
+    "raised_cosine_taps",
+    "root_raised_cosine_taps",
+    "PROFILES",
+    "WaveformProfile",
+    "get_profile",
+    "list_profiles",
+    "PRBS_POLYNOMIALS",
+    "SymbolSource",
+    "prbs_bits",
+    "prbs_sequence",
+    "random_bits",
+    "random_symbols",
+]

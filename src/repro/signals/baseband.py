@@ -1,0 +1,166 @@
+"""Complex-envelope (baseband-equivalent) waveform container.
+
+The behavioural transmitter chain operates on the complex envelope of the RF
+signal: a uniformly sampled complex record whose sample rate only needs to
+cover the modulation bandwidth (plus nonlinearity-induced regrowth), not the
+carrier frequency.  :class:`ComplexEnvelope` bundles the samples with their
+sample rate and start time and offers the handful of operations the models
+need (power scaling, filtering, time evaluation between grid points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.interpolation import sinc_interpolate
+from ..errors import ValidationError
+from ..utils.validation import check_1d_array, check_non_negative, check_positive
+
+__all__ = ["ComplexEnvelope"]
+
+
+@dataclass(frozen=True)
+class ComplexEnvelope:
+    """A uniformly sampled complex envelope.
+
+    Attributes
+    ----------
+    samples:
+        Complex envelope samples ``i[n] + 1j * q[n]``.
+    sample_rate:
+        Envelope sampling rate in Hz.
+    start_time:
+        Absolute time (seconds) of ``samples[0]``.
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        samples = check_1d_array(self.samples, "samples", dtype=complex)
+        sample_rate = check_positive(self.sample_rate, "sample_rate")
+        start_time = float(self.start_time)
+        if not np.isfinite(start_time):
+            raise ValidationError("start_time must be finite")
+        object.__setattr__(self, "samples", samples)
+        object.__setattr__(self, "sample_rate", sample_rate)
+        object.__setattr__(self, "start_time", start_time)
+
+    # ------------------------------------------------------------------ #
+    # Basic descriptors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def duration(self) -> float:
+        """Record duration in seconds (number of samples over the rate)."""
+        return self.samples.size / self.sample_rate
+
+    @property
+    def end_time(self) -> float:
+        """Time just past the last sample."""
+        return self.start_time + self.duration
+
+    def times(self) -> np.ndarray:
+        """Time stamps of every sample."""
+        return self.start_time + np.arange(self.samples.size) / self.sample_rate
+
+    @property
+    def in_phase(self) -> np.ndarray:
+        """The I (real) component."""
+        return self.samples.real
+
+    @property
+    def quadrature(self) -> np.ndarray:
+        """The Q (imaginary) component."""
+        return self.samples.imag
+
+    def mean_power(self) -> float:
+        """Mean envelope power ``mean(|samples|^2)``."""
+        return float(np.mean(np.abs(self.samples) ** 2))
+
+    def peak_power(self) -> float:
+        """Peak envelope power ``max(|samples|^2)``."""
+        return float(np.max(np.abs(self.samples) ** 2))
+
+    def papr_db(self) -> float:
+        """Peak-to-average power ratio in dB."""
+        mean = self.mean_power()
+        if mean <= 0.0:
+            raise ValidationError("cannot compute PAPR of an all-zero envelope")
+        return float(10.0 * np.log10(self.peak_power() / mean))
+
+    def rms(self) -> float:
+        """RMS envelope magnitude."""
+        return float(np.sqrt(self.mean_power()))
+
+    # ------------------------------------------------------------------ #
+    # Transformations (all return new instances; the container is frozen)
+    # ------------------------------------------------------------------ #
+    def with_samples(self, samples) -> "ComplexEnvelope":
+        """Return a copy with different samples but the same timing metadata."""
+        return ComplexEnvelope(samples, self.sample_rate, self.start_time)
+
+    def scaled(self, factor: complex) -> "ComplexEnvelope":
+        """Multiply the envelope by a complex factor."""
+        return self.with_samples(self.samples * factor)
+
+    def scaled_to_power(self, target_power: float) -> "ComplexEnvelope":
+        """Scale so that the mean envelope power equals ``target_power``."""
+        target_power = check_non_negative(target_power, "target_power")
+        current = self.mean_power()
+        if current <= 0.0:
+            raise ValidationError("cannot rescale an all-zero envelope")
+        return self.scaled(np.sqrt(target_power / current))
+
+    def delayed(self, delay_seconds: float) -> "ComplexEnvelope":
+        """Shift the record's time axis (metadata only; samples unchanged)."""
+        return ComplexEnvelope(self.samples, self.sample_rate, self.start_time + float(delay_seconds))
+
+    def filtered(self, taps) -> "ComplexEnvelope":
+        """Apply an FIR filter, compensating its bulk (integer) group delay."""
+        taps = check_1d_array(taps, "taps", dtype=float)
+        filtered = np.convolve(self.samples, taps.astype(complex))
+        bulk = (len(taps) - 1) // 2
+        trimmed = filtered[bulk : bulk + self.samples.size]
+        return self.with_samples(trimmed)
+
+    def sliced(self, start_time: float, stop_time: float) -> "ComplexEnvelope":
+        """Extract the samples whose time stamps fall in ``[start_time, stop_time)``."""
+        if stop_time <= start_time:
+            raise ValidationError("stop_time must exceed start_time")
+        times = self.times()
+        mask = (times >= start_time) & (times < stop_time)
+        if not np.any(mask):
+            raise ValidationError("requested slice contains no samples")
+        first = int(np.argmax(mask))
+        return ComplexEnvelope(self.samples[mask], self.sample_rate, float(times[first]))
+
+    # ------------------------------------------------------------------ #
+    # Continuous-time evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, times, num_taps: int = 32) -> np.ndarray:
+        """Evaluate the envelope at arbitrary times via band-limited interpolation."""
+        return sinc_interpolate(
+            self.samples,
+            self.sample_rate,
+            times,
+            start_time=self.start_time,
+            num_taps=num_taps,
+        )
+
+    def __add__(self, other: "ComplexEnvelope") -> "ComplexEnvelope":
+        """Sum two envelopes defined on the same grid."""
+        if not isinstance(other, ComplexEnvelope):
+            return NotImplemented
+        if (
+            other.samples.size != self.samples.size
+            or not np.isclose(other.sample_rate, self.sample_rate)
+            or not np.isclose(other.start_time, self.start_time)
+        ):
+            raise ValidationError("envelopes must share the same grid to be added")
+        return self.with_samples(self.samples + other.samples)

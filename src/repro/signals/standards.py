@@ -1,0 +1,200 @@
+"""Multistandard waveform profiles.
+
+A software-defined radio must satisfy its specifications under every
+waveform it supports.  A :class:`WaveformProfile` bundles the parameters the
+BIST campaign needs per standard: symbol rate, modulation, pulse shaping,
+carrier frequency, channel spacing and the spectral emission mask limits.
+
+The profiles shipped here are *representative* tactical/commercial waveforms
+(the paper does not publish the proprietary waveform set of the targeted
+radios); their numeric values are chosen to exercise distinct corners of the
+architecture — narrowband vs wideband, low vs high carrier, PSK vs QAM.
+
+The emission-mask depths and ACPR limits are chosen to be *verifiable by the
+BIST itself*: the reconstruction noise floor of the nonuniform acquisition is
+dominated by the converter's time-skew jitter and sits at roughly
+``20*log10(2*pi*fc*sigma_jitter)`` below the in-band peak (about -45 dB at
+1 GHz for the paper's 3 ps rms jitter), so limits far below that floor cannot
+be screened with this architecture and are not used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+from ..utils.validation import check_positive
+
+__all__ = ["WaveformProfile", "PROFILES", "get_profile", "list_profiles"]
+
+
+@dataclass(frozen=True)
+class WaveformProfile:
+    """Parameters of one supported waveform / operating mode.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier.
+    carrier_frequency_hz:
+        RF carrier the profile transmits at.
+    symbol_rate_hz:
+        Modulation symbol rate.
+    modulation:
+        Constellation name understood by
+        :func:`repro.signals.get_constellation`.
+    rolloff:
+        SRRC excess-bandwidth factor.
+    channel_bandwidth_hz:
+        Nominal channel bandwidth (mask reference bandwidth).
+    channel_spacing_hz:
+        Centre-to-centre spacing of adjacent channels.
+    acpr_limit_db:
+        Maximum tolerated adjacent-channel power ratio (dB, negative).
+    evm_limit_percent:
+        Maximum tolerated RMS EVM, in percent.
+    mask_points_db:
+        Spectral emission mask as ``(offset_hz, limit_db)`` breakpoints
+        relative to the channel centre and the in-band PSD peak.
+    """
+
+    name: str
+    carrier_frequency_hz: float
+    symbol_rate_hz: float
+    modulation: str
+    rolloff: float
+    channel_bandwidth_hz: float
+    channel_spacing_hz: float
+    acpr_limit_db: float
+    evm_limit_percent: float
+    mask_points_db: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        check_positive(self.carrier_frequency_hz, "carrier_frequency_hz")
+        check_positive(self.symbol_rate_hz, "symbol_rate_hz")
+        check_positive(self.channel_bandwidth_hz, "channel_bandwidth_hz")
+        check_positive(self.channel_spacing_hz, "channel_spacing_hz")
+        if not 0.0 <= self.rolloff <= 1.0:
+            raise ValidationError("rolloff must lie in [0, 1]")
+        if self.acpr_limit_db >= 0.0:
+            raise ValidationError("acpr_limit_db must be negative")
+        if self.evm_limit_percent <= 0.0:
+            raise ValidationError("evm_limit_percent must be positive")
+
+    @property
+    def occupied_bandwidth_hz(self) -> float:
+        """Approximate occupied bandwidth ``(1 + rolloff) * symbol_rate``."""
+        return (1.0 + self.rolloff) * self.symbol_rate_hz
+
+
+#: Built-in representative waveform profiles, keyed by name.
+PROFILES: dict[str, WaveformProfile] = {
+    profile.name: profile
+    for profile in (
+        WaveformProfile(
+            name="paper-qpsk-1ghz",
+            carrier_frequency_hz=1.0e9,
+            symbol_rate_hz=10.0e6,
+            modulation="qpsk",
+            rolloff=0.5,
+            channel_bandwidth_hz=15.0e6,
+            channel_spacing_hz=20.0e6,
+            acpr_limit_db=-35.0,
+            evm_limit_percent=12.5,
+            mask_points_db=(
+                (0.0, 0.0),
+                (7.5e6, 0.0),
+                (10.0e6, -25.0),
+                (20.0e6, -40.0),
+                (40.0e6, -45.0),
+            ),
+        ),
+        WaveformProfile(
+            name="narrowband-vhf-bpsk",
+            carrier_frequency_hz=60.0e6,
+            symbol_rate_hz=64.0e3,
+            modulation="bpsk",
+            rolloff=0.35,
+            channel_bandwidth_hz=100.0e3,
+            channel_spacing_hz=125.0e3,
+            acpr_limit_db=-45.0,
+            evm_limit_percent=10.0,
+            mask_points_db=(
+                (0.0, 0.0),
+                (50.0e3, 0.0),
+                (75.0e3, -30.0),
+                (150.0e3, -50.0),
+                (300.0e3, -50.0),
+            ),
+        ),
+        WaveformProfile(
+            name="uhf-8psk-400mhz",
+            carrier_frequency_hz=400.0e6,
+            symbol_rate_hz=1.2e6,
+            modulation="8psk",
+            rolloff=0.35,
+            channel_bandwidth_hz=1.8e6,
+            channel_spacing_hz=2.0e6,
+            acpr_limit_db=-40.0,
+            evm_limit_percent=9.0,
+            mask_points_db=(
+                (0.0, 0.0),
+                (0.9e6, 0.0),
+                (1.2e6, -28.0),
+                (2.4e6, -42.0),
+                (4.8e6, -44.0),
+            ),
+        ),
+        WaveformProfile(
+            name="wideband-16qam-2ghz",
+            carrier_frequency_hz=2.03e9,
+            symbol_rate_hz=20.0e6,
+            modulation="16qam",
+            rolloff=0.25,
+            channel_bandwidth_hz=30.0e6,
+            channel_spacing_hz=40.0e6,
+            acpr_limit_db=-30.0,
+            evm_limit_percent=8.0,
+            mask_points_db=(
+                (0.0, 0.0),
+                (15.0e6, 0.0),
+                (20.0e6, -26.0),
+                (40.0e6, -31.0),
+                (80.0e6, -32.0),
+            ),
+        ),
+        WaveformProfile(
+            name="lband-64qam-1p5ghz",
+            carrier_frequency_hz=1.5e9,
+            symbol_rate_hz=5.0e6,
+            modulation="64qam",
+            rolloff=0.22,
+            channel_bandwidth_hz=7.0e6,
+            channel_spacing_hz=10.0e6,
+            acpr_limit_db=-36.0,
+            evm_limit_percent=5.5,
+            mask_points_db=(
+                (0.0, 0.0),
+                (3.5e6, 0.0),
+                (5.0e6, -30.0),
+                (10.0e6, -36.0),
+                (20.0e6, -38.0),
+            ),
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> WaveformProfile:
+    """Look up a built-in waveform profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown waveform profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None
+
+
+def list_profiles() -> list[str]:
+    """Names of all built-in waveform profiles."""
+    return sorted(PROFILES)

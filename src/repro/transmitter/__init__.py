@@ -1,0 +1,13 @@
+"""Behavioural homodyne transmitter: configuration, DAC and full chain."""
+
+from .chain import HomodyneTransmitter, TransmissionResult
+from .config import ImpairmentConfig, TransmitterConfig
+from .dac import TransmitDac
+
+__all__ = [
+    "HomodyneTransmitter",
+    "TransmissionResult",
+    "ImpairmentConfig",
+    "TransmitterConfig",
+    "TransmitDac",
+]

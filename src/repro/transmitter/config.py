@@ -1,0 +1,151 @@
+"""Configuration objects for the behavioural homodyne transmitter.
+
+The transmitter chain is assembled from a :class:`TransmitterConfig`, which
+mirrors the paper's simulation setup (Section V): 10 MHz QPSK symbols shaped
+by an SRRC filter with roll-off 0.5, upconverted to a 1 GHz carrier.  An
+:class:`ImpairmentConfig` collects the analog non-idealities so that the BIST
+campaign can inject faults by swapping a single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+from ..rf.amplifier import Amplifier, IdealAmplifier
+from ..rf.impairments import DcOffset, IqImbalance
+from ..rf.oscillator import PhaseNoiseModel
+from ..signals.standards import WaveformProfile
+from ..utils.validation import check_integer, check_positive
+
+__all__ = ["ImpairmentConfig", "TransmitterConfig"]
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """Analog impairments injected into the transmitter chain.
+
+    Attributes
+    ----------
+    amplifier:
+        Behavioural PA model (the fault-free default is an ideal amplifier
+        with 0 dB gain so output power equals the configured power).
+    iq_imbalance:
+        Quadrature modulator gain/phase imbalance.
+    dc_offset:
+        Branch DC offsets (LO leakage).
+    phase_noise:
+        LO phase-noise description.
+    output_snr_db:
+        If finite, additive white noise is injected at the PA output to
+        produce this in-band SNR; ``None`` disables the noise.
+    """
+
+    amplifier: Amplifier = field(default_factory=lambda: IdealAmplifier(gain_db=0.0))
+    iq_imbalance: IqImbalance = field(default_factory=IqImbalance)
+    dc_offset: DcOffset = field(default_factory=DcOffset)
+    phase_noise: PhaseNoiseModel = field(default_factory=PhaseNoiseModel)
+    output_snr_db: float | None = None
+
+    @classmethod
+    def ideal(cls) -> "ImpairmentConfig":
+        """A completely impairment-free configuration."""
+        return cls()
+
+    def with_amplifier(self, amplifier: Amplifier) -> "ImpairmentConfig":
+        """Copy of this configuration with a different PA model."""
+        return replace(self, amplifier=amplifier)
+
+
+@dataclass(frozen=True)
+class TransmitterConfig:
+    """Full configuration of the behavioural homodyne transmitter.
+
+    Attributes
+    ----------
+    carrier_frequency_hz:
+        RF carrier frequency ``fc``.
+    symbol_rate_hz:
+        Modulation symbol rate.
+    modulation:
+        Constellation name (``"qpsk"``, ``"16qam"``, ...).
+    rolloff:
+        SRRC excess-bandwidth factor ``alpha``.
+    samples_per_symbol:
+        Envelope oversampling ratio.  Must leave comfortable margin for
+        PA-induced spectral regrowth (the default 16 covers fifth-order
+        regrowth of an SRRC signal).
+    pulse_span_symbols:
+        SRRC filter span in symbols.
+    output_power:
+        Mean envelope power at the PA output (normalised units).
+    impairments:
+        Analog impairment configuration.
+    seed:
+        Base seed controlling every stochastic element of the chain.
+    """
+
+    carrier_frequency_hz: float = 1.0e9
+    symbol_rate_hz: float = 10.0e6
+    modulation: str = "qpsk"
+    rolloff: float = 0.5
+    samples_per_symbol: int = 16
+    pulse_span_symbols: int = 10
+    output_power: float = 1.0
+    impairments: ImpairmentConfig = field(default_factory=ImpairmentConfig)
+    seed: int | None = 2014
+
+    def __post_init__(self) -> None:
+        check_positive(self.carrier_frequency_hz, "carrier_frequency_hz")
+        check_positive(self.symbol_rate_hz, "symbol_rate_hz")
+        check_integer(self.samples_per_symbol, "samples_per_symbol", minimum=2)
+        check_integer(self.pulse_span_symbols, "pulse_span_symbols", minimum=2)
+        check_positive(self.output_power, "output_power")
+        if not 0.0 <= self.rolloff <= 1.0:
+            raise ConfigurationError("rolloff must lie in [0, 1]")
+        if self.envelope_sample_rate / 2.0 >= self.carrier_frequency_hz:
+            raise ConfigurationError(
+                "envelope sample rate must be far below the carrier frequency; "
+                "reduce samples_per_symbol or raise the carrier"
+            )
+
+    @property
+    def envelope_sample_rate(self) -> float:
+        """Sample rate of the simulated complex envelope."""
+        return self.symbol_rate_hz * self.samples_per_symbol
+
+    @property
+    def occupied_bandwidth_hz(self) -> float:
+        """Nominal occupied RF bandwidth ``(1 + rolloff) * symbol_rate``."""
+        return (1.0 + self.rolloff) * self.symbol_rate_hz
+
+    @classmethod
+    def paper_default(cls, impairments: ImpairmentConfig | None = None, seed: int | None = 2014) -> "TransmitterConfig":
+        """The simulation setup of Section V of the paper."""
+        return cls(
+            carrier_frequency_hz=1.0e9,
+            symbol_rate_hz=10.0e6,
+            modulation="qpsk",
+            rolloff=0.5,
+            impairments=impairments if impairments is not None else ImpairmentConfig(),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: WaveformProfile,
+        impairments: ImpairmentConfig | None = None,
+        samples_per_symbol: int = 16,
+        seed: int | None = 2014,
+    ) -> "TransmitterConfig":
+        """Build a transmitter configuration from a multistandard waveform profile."""
+        return cls(
+            carrier_frequency_hz=profile.carrier_frequency_hz,
+            symbol_rate_hz=profile.symbol_rate_hz,
+            modulation=profile.modulation,
+            rolloff=profile.rolloff,
+            samples_per_symbol=samples_per_symbol,
+            impairments=impairments if impairments is not None else ImpairmentConfig(),
+            seed=seed,
+        )

@@ -1,0 +1,64 @@
+"""Random-number plumbing for reproducible simulations.
+
+All stochastic pieces of the library (symbol sources, noise generators, clock
+jitter, Monte-Carlo sweeps) accept either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  :func:`ensure_generator`
+normalises those three cases.  :func:`spawn_generators` derives independent
+child streams so that, for example, the transmitter noise and the ADC jitter
+of a single experiment do not share a stream and therefore stay reproducible
+when one of them changes the number of draws it makes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ensure_generator", "spawn_generators", "SeedLike"]
+
+#: Types accepted wherever the library asks for randomness.
+SeedLike = int | np.random.Generator | np.random.SeedSequence | None
+
+
+def ensure_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    * ``None`` -> a freshly seeded generator (non-reproducible).
+    * ``int`` or :class:`numpy.random.SeedSequence` -> a deterministic generator.
+    * an existing :class:`numpy.random.Generator` -> returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    raise ValidationError(
+        f"seed must be None, an int, a SeedSequence or a Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    When ``seed`` is already a generator, its internal bit generator is used
+    to produce child seeds; otherwise a :class:`~numpy.random.SeedSequence`
+    is spawned, which guarantees independence between children.
+    """
+    if count <= 0:
+        raise ValidationError(f"count must be a positive integer, got {count}")
+    if isinstance(seed, np.random.Generator):
+        child_seeds: Sequence[int] = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    if seed is None:
+        sequence = np.random.SeedSequence()
+    elif isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    elif isinstance(seed, (int, np.integer)):
+        sequence = np.random.SeedSequence(int(seed))
+    else:
+        raise ValidationError(
+            f"seed must be None, an int, a SeedSequence or a Generator, got {type(seed).__name__}"
+        )
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

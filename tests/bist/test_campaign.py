@@ -1,0 +1,72 @@
+"""Tests for repro.bist.campaign (scenario plumbing; heavy runs live in integration)."""
+
+import pytest
+
+from repro.bist import BistCampaign, CampaignScenario, default_converter
+from repro.errors import ValidationError
+from repro.rf import RappAmplifier
+from repro.signals import get_profile
+from repro.transmitter import ImpairmentConfig
+
+
+class TestDefaultConverter:
+    def test_paper_configuration(self):
+        converter = default_converter(90e6)
+        assert converter.sample_rate == pytest.approx(90e6)
+        assert converter.channel0.quantizer.resolution_bits == 10
+        assert converter.skew_jitter_rms_seconds == pytest.approx(3e-12)
+
+    def test_injected_timing_errors(self):
+        converter = default_converter(
+            90e6, dcde_static_error_seconds=6e-12, channel1_skew_seconds=2e-12
+        )
+        converter.program_delay(180e-12)
+        assert converter.true_delay == pytest.approx(188e-12)
+
+    def test_resolution_override(self):
+        converter = default_converter(90e6, resolution_bits=12)
+        assert converter.channel1.quantizer.resolution_bits == 12
+
+
+class TestCampaignScenario:
+    def test_profile_resolution_by_name(self):
+        scenario = CampaignScenario(profile="paper-qpsk-1ghz")
+        assert scenario.resolved_profile().carrier_frequency_hz == pytest.approx(1e9)
+        assert scenario.resolved_label() == "paper-qpsk-1ghz"
+
+    def test_profile_object_passthrough(self):
+        profile = get_profile("uhf-8psk-400mhz")
+        scenario = CampaignScenario(profile=profile, label="uhf-nominal")
+        assert scenario.resolved_profile() is profile
+        assert scenario.resolved_label() == "uhf-nominal"
+
+    def test_impairments_default_ideal(self):
+        scenario = CampaignScenario(profile="paper-qpsk-1ghz")
+        assert scenario.impairments.iq_imbalance.is_ideal
+
+    def test_custom_impairments(self):
+        impairments = ImpairmentConfig().with_amplifier(RappAmplifier(saturation_amplitude=0.6))
+        scenario = CampaignScenario(profile="paper-qpsk-1ghz", impairments=impairments)
+        assert isinstance(scenario.impairments.amplifier, RappAmplifier)
+
+
+class TestCampaignConstruction:
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ValidationError):
+            BistCampaign([])
+
+    def test_non_scenario_rejected(self):
+        with pytest.raises(ValidationError):
+            BistCampaign(["not a scenario"])
+
+    def test_scenario_bandwidth_scales_for_narrowband(self):
+        campaign = BistCampaign([CampaignScenario(profile="narrowband-vhf-bpsk")])
+        profile = get_profile("narrowband-vhf-bpsk")
+        bandwidth = campaign._scenario_bandwidth(profile)
+        assert bandwidth < 90e6
+        assert bandwidth >= 2.5 * profile.occupied_bandwidth_hz
+
+    def test_scenario_bandwidth_keeps_nominal_for_wideband(self):
+        campaign = BistCampaign([CampaignScenario(profile="paper-qpsk-1ghz")])
+        profile = get_profile("paper-qpsk-1ghz")
+        assert campaign._scenario_bandwidth(profile) == pytest.approx(60e6, rel=0.01)

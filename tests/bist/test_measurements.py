@@ -1,0 +1,104 @@
+"""Tests for repro.bist.measurements."""
+
+import numpy as np
+import pytest
+
+from repro.bist import (
+    measure_acpr,
+    measure_occupied_bandwidth,
+    measure_spectrum,
+    reconstructed_envelope,
+    render_uniform,
+)
+from repro.dsp import peak_frequency
+from repro.errors import MeasurementError, ValidationError
+from repro.sampling import BandpassBand, IdealNonuniformSampler, NonuniformReconstructor
+from repro.signals import single_tone
+
+
+BAND = BandpassBand.from_centre(1.0e9, 90.0e6)
+TONE_FREQUENCY = 1.004e9
+
+
+@pytest.fixture(scope="module")
+def tone_reconstructor():
+    tone = single_tone(TONE_FREQUENCY, amplitude=0.7)
+    sampler = IdealNonuniformSampler(BAND, delay=180e-12)
+    sample_set = sampler.acquire(tone, num_samples=500)
+    return NonuniformReconstructor(sample_set, num_taps=60)
+
+
+class TestRenderUniform:
+    def test_default_rate_above_carrier_nyquist(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        _, _, rate = render_uniform(tone_reconstructor, low, high)
+        assert rate >= 2.0 * BAND.f_high
+
+    def test_samples_match_reconstruction(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        times, samples, _ = render_uniform(tone_reconstructor, low, low + 0.2e-6)
+        np.testing.assert_allclose(samples, tone_reconstructor.evaluate(times))
+
+    def test_interval_clipped_to_valid_range(self, tone_reconstructor):
+        times, _, _ = render_uniform(tone_reconstructor, 0.0, 1.0)
+        low, high = tone_reconstructor.valid_time_range()
+        assert times[0] >= low
+        assert times[-1] <= high
+
+    def test_empty_interval_rejected(self, tone_reconstructor):
+        low, _ = tone_reconstructor.valid_time_range()
+        with pytest.raises(MeasurementError):
+            render_uniform(tone_reconstructor, low, low)
+
+    def test_type_check(self):
+        with pytest.raises(ValidationError):
+            render_uniform("reconstructor", 0.0, 1.0)
+
+
+class TestSpectrumMeasurements:
+    def test_tone_appears_at_rf_frequency(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        spectrum = measure_spectrum(tone_reconstructor, low, high)
+        assert peak_frequency(spectrum) == pytest.approx(TONE_FREQUENCY, rel=2e-3)
+
+    def test_acpr_of_clean_tone_low(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        spectrum = measure_spectrum(tone_reconstructor, low, high)
+        acpr = measure_acpr(spectrum, TONE_FREQUENCY, 5e6, channel_spacing_hz=10e6)
+        assert acpr["worst_db"] < -20.0
+
+    def test_occupied_bandwidth_of_tone_narrow(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        spectrum = measure_spectrum(tone_reconstructor, low, high)
+        obw = measure_occupied_bandwidth(spectrum, TONE_FREQUENCY, search_half_width_hz=40e6)
+        assert obw < 5e6
+
+    def test_occupied_bandwidth_window_check(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        spectrum = measure_spectrum(tone_reconstructor, low, high)
+        with pytest.raises(MeasurementError):
+            measure_occupied_bandwidth(spectrum, 5e9, search_half_width_hz=1e3)
+
+
+class TestReconstructedEnvelope:
+    def test_tone_envelope_is_offset_exponential(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        times, envelope = reconstructed_envelope(
+            tone_reconstructor,
+            carrier_frequency_hz=1.0e9,
+            start_time=low,
+            stop_time=high,
+            envelope_rate=90e6,
+        )
+        # The tone at fc + 4 MHz has a complex envelope rotating at +4 MHz with
+        # amplitude 0.7; check magnitude and rotation rate away from the edges.
+        interior = slice(40, -40)
+        magnitudes = np.abs(envelope[interior])
+        np.testing.assert_allclose(magnitudes, 0.7, rtol=0.05)
+        phase_rate = np.diff(np.unwrap(np.angle(envelope[interior]))) * 90e6 / (2 * np.pi)
+        np.testing.assert_allclose(np.median(phase_rate), 4e6, rtol=0.05)
+
+    def test_invalid_carrier(self, tone_reconstructor):
+        low, high = tone_reconstructor.valid_time_range()
+        with pytest.raises(ValidationError):
+            reconstructed_envelope(tone_reconstructor, 0.0, low, high, envelope_rate=90e6)

@@ -1,0 +1,107 @@
+"""Tests for repro.calibration.cost (Eq. 8 / Eq. 9 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    SkewCostFunction,
+    default_evaluation_times,
+    search_upper_bound,
+    uniqueness_conditions_met,
+)
+from repro.errors import CalibrationError, ValidationError
+
+
+DELAY = 180e-12
+
+
+@pytest.fixture(scope="module")
+def cost_function(request):
+    fast = request.getfixturevalue("fast_sample_set")
+    slow = request.getfixturevalue("slow_sample_set")
+    return SkewCostFunction(fast, slow, num_evaluation_points=200, seed=17)
+
+
+class TestUniquenessConditions:
+    def test_paper_rate_pair_satisfies_conditions(self, fast_sample_set, slow_sample_set):
+        assert uniqueness_conditions_met(fast_sample_set, slow_sample_set)
+
+    def test_swapped_rates_rejected(self, fast_sample_set, slow_sample_set):
+        with pytest.raises(ValidationError):
+            uniqueness_conditions_met(slow_sample_set, fast_sample_set)
+
+    def test_search_upper_bound_is_paper_m(self, fast_sample_set, slow_sample_set):
+        """m = 483 ps for B = 90 MHz, B1 = 45 MHz at fc = 1 GHz (Section V)."""
+        bound = search_upper_bound(fast_sample_set, slow_sample_set)
+        assert bound == pytest.approx(483.09e-12, rel=1e-3)
+
+
+class TestEvaluationTimes:
+    def test_default_times_inside_overlap(self, fast_sample_set, slow_sample_set):
+        times = default_evaluation_times(fast_sample_set, slow_sample_set, num_points=100, seed=1)
+        assert times.size == 100
+        assert times.min() > fast_sample_set.start_time
+        assert times.max() < min(fast_sample_set.end_time, slow_sample_set.end_time)
+
+    def test_reproducible_with_seed(self, fast_sample_set, slow_sample_set):
+        a = default_evaluation_times(fast_sample_set, slow_sample_set, num_points=50, seed=2)
+        b = default_evaluation_times(fast_sample_set, slow_sample_set, num_points=50, seed=2)
+        np.testing.assert_allclose(a, b)
+
+    def test_insufficient_overlap_rejected(self, fast_sample_set, slow_sample_set):
+        with pytest.raises(CalibrationError):
+            default_evaluation_times(fast_sample_set, slow_sample_set, num_taps=10_000)
+
+
+class TestCostFunctionShape:
+    def test_minimum_at_true_delay(self, cost_function):
+        """Fig. 5: the cost is minimal exactly at D_hat = D."""
+        at_truth = cost_function(DELAY)
+        for offset in (-40e-12, -15e-12, 15e-12, 40e-12):
+            assert cost_function(DELAY + offset) > at_truth
+
+    def test_cost_at_truth_is_tiny(self, cost_function):
+        signal_power = np.mean(cost_function.sample_set_fast.on_grid ** 2)
+        assert cost_function(DELAY) < 1e-4 * signal_power
+
+    def test_cost_grows_monotonically_away_from_minimum(self, cost_function):
+        """On each side of the minimum the cost increases with distance (sampled coarsely)."""
+        offsets = np.array([10e-12, 30e-12, 60e-12, 100e-12])
+        right = cost_function.sweep(DELAY + offsets)
+        left = cost_function.sweep(DELAY - offsets)
+        assert np.all(np.diff(right) > 0)
+        assert np.all(np.diff(left) > 0)
+
+    def test_unique_minimum_over_search_interval(self, cost_function):
+        """Coarse sweep over (0, m): the global minimum lands at the true delay."""
+        candidates = np.linspace(20e-12, cost_function.upper_bound * 0.95, 47)
+        costs = cost_function.sweep(candidates)
+        best = candidates[int(np.argmin(costs))]
+        assert abs(best - DELAY) < (candidates[1] - candidates[0])
+
+    def test_candidate_outside_interval_rejected(self, cost_function):
+        with pytest.raises(CalibrationError):
+            cost_function(cost_function.upper_bound * 1.1)
+
+    def test_negative_candidate_rejected(self, cost_function):
+        with pytest.raises(ValidationError):
+            cost_function(-1e-12)
+
+
+class TestCostFunctionConfiguration:
+    def test_swapped_sample_sets_rejected(self, fast_sample_set, slow_sample_set):
+        with pytest.raises(ValidationError):
+            SkewCostFunction(slow_sample_set, fast_sample_set)
+
+    def test_explicit_evaluation_times_used(self, fast_sample_set, slow_sample_set):
+        times = np.linspace(1e-6, 3e-6, 64)
+        cost = SkewCostFunction(fast_sample_set, slow_sample_set, evaluation_times=times)
+        np.testing.assert_allclose(cost.evaluation_times, times)
+
+    def test_too_few_explicit_times_rejected(self, fast_sample_set, slow_sample_set):
+        with pytest.raises(ValidationError):
+            SkewCostFunction(fast_sample_set, slow_sample_set, evaluation_times=[1e-6, 2e-6])
+
+    def test_invalid_types_rejected(self, fast_sample_set):
+        with pytest.raises(ValidationError):
+            SkewCostFunction(fast_sample_set, "slow")

@@ -1,0 +1,102 @@
+"""Tests for repro.calibration.sine_fit (the Jamal-style baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import SineFitSkewEstimator, fit_sine_phase
+from repro.errors import CalibrationError, ValidationError
+from repro.sampling import BandpassBand, IdealNonuniformSampler
+from repro.signals import single_tone
+
+
+BAND = BandpassBand.from_centre(1.0e9, 90.0e6)
+DELAY = 180e-12
+
+
+def acquire_tone(tone_frequency, delay=DELAY, num_samples=400):
+    tone = single_tone(tone_frequency, amplitude=0.9)
+    sampler = IdealNonuniformSampler(BAND, delay=delay)
+    return sampler.acquire(tone, num_samples=num_samples)
+
+
+class TestSineFitPrimitive:
+    def test_amplitude_and_phase_recovered(self):
+        rate = 90e6
+        n = np.arange(512)
+        amplitude, phase = 0.7, 0.9
+        samples = amplitude * np.cos(2 * np.pi * 7e6 * n / rate + phase)
+        fit_amplitude, fit_phase = fit_sine_phase(samples, rate, 7e6)
+        assert fit_amplitude == pytest.approx(amplitude, rel=1e-6)
+        assert fit_phase == pytest.approx(phase, abs=1e-6)
+
+    def test_dc_offset_ignored(self):
+        rate = 90e6
+        n = np.arange(512)
+        samples = 0.5 * np.cos(2 * np.pi * 5e6 * n / rate) + 0.3
+        amplitude, phase = fit_sine_phase(samples, rate, 5e6)
+        assert amplitude == pytest.approx(0.5, rel=1e-6)
+        assert phase == pytest.approx(0.0, abs=1e-6)
+
+    def test_short_record_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_sine_phase(np.ones(4), 1e6, 1e3)
+
+
+class TestSineFitSkewEstimator:
+    def test_folded_frequency_and_inversion(self):
+        estimator = SineFitSkewEstimator(tone_frequency_hz=991e6)
+        folded, inverted = estimator.folded_frequency(90e6)
+        assert folded == pytest.approx(1e6)
+        assert not inverted
+
+    def test_folded_frequency_with_inversion(self):
+        # 1.033 GHz mod 90 MHz = 43 MHz < 45 MHz... choose a tone that folds with inversion.
+        estimator = SineFitSkewEstimator(tone_frequency_hz=1.037e9)
+        folded, inverted = estimator.folded_frequency(90e6)
+        assert folded == pytest.approx(90e6 - (1.037e9 % 90e6))
+        assert inverted
+
+    @pytest.mark.parametrize("fraction", [0.23, 0.4, 0.46])
+    def test_estimates_delay_of_clean_tone(self, fraction):
+        tone_frequency = BAND.f_low + fraction * BAND.bandwidth
+        estimator = SineFitSkewEstimator(tone_frequency_hz=tone_frequency)
+        sample_set = acquire_tone(tone_frequency)
+        result = estimator.estimate(sample_set)
+        assert result.estimate == pytest.approx(DELAY, abs=1e-12)
+
+    def test_channel_amplitudes_reported(self):
+        tone_frequency = BAND.f_low + 0.4 * BAND.bandwidth
+        estimator = SineFitSkewEstimator(tone_frequency_hz=tone_frequency)
+        result = estimator.estimate(acquire_tone(tone_frequency))
+        assert result.channel_amplitudes[0] == pytest.approx(0.9, rel=0.05)
+        assert result.channel_amplitudes[1] == pytest.approx(0.9, rel=0.05)
+
+    def test_requires_known_tone_fails_on_wrong_frequency(self):
+        """Assuming the wrong tone frequency corrupts the estimate - the known-stimulus
+        requirement the paper criticises."""
+        true_tone = BAND.f_low + 0.40 * BAND.bandwidth
+        assumed_tone = BAND.f_low + 0.45 * BAND.bandwidth
+        estimator = SineFitSkewEstimator(tone_frequency_hz=assumed_tone)
+        result = estimator.estimate(acquire_tone(true_tone))
+        assert abs(result.estimate - DELAY) > 5e-12
+
+    def test_tone_folding_to_dc_rejected(self):
+        # A tone at an exact multiple of the sample rate folds to DC.
+        tone_frequency = 90e6 * 11.0
+        estimator = SineFitSkewEstimator(tone_frequency_hz=tone_frequency)
+        sample_set = acquire_tone(tone_frequency + 100.0)  # fold to ~100 Hz << 1/record
+        with pytest.raises(CalibrationError):
+            estimator.estimate(sample_set)
+
+    def test_invalid_sample_set_type(self):
+        estimator = SineFitSkewEstimator(tone_frequency_hz=1e9)
+        with pytest.raises(ValidationError):
+            estimator.estimate("samples")
+
+    def test_modulated_signal_breaks_the_method(self, fast_sample_set):
+        """Fed the operational (modulated) signal instead of a known tone, the
+        sine-fit estimate is far off - unlike the LMS method."""
+        tone_frequency = BAND.f_low + 0.4 * BAND.bandwidth
+        estimator = SineFitSkewEstimator(tone_frequency_hz=tone_frequency)
+        result = estimator.estimate(fast_sample_set)
+        assert abs(result.estimate - DELAY) > 2e-12

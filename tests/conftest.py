@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (transmitter bursts, nonuniform acquisitions at the
+paper's operating point) are built once per session; tests must not mutate
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling import BandpassBand, IdealNonuniformSampler
+from repro.signals import multitone_in_band
+from repro.transmitter import HomodyneTransmitter, TransmitterConfig
+
+#: The paper's acquisition parameters (Section V).
+PAPER_CARRIER_HZ = 1.0e9
+PAPER_BANDWIDTH_HZ = 90.0e6
+PAPER_DELAY_S = 180.0e-12
+
+
+@pytest.fixture(scope="session")
+def paper_band() -> BandpassBand:
+    """The 90 MHz acquisition band centred on the 1 GHz carrier."""
+    return BandpassBand.from_centre(PAPER_CARRIER_HZ, PAPER_BANDWIDTH_HZ)
+
+
+@pytest.fixture(scope="session")
+def narrow_tone_signal():
+    """A deterministic multitone confined to +/- 7.5 MHz around the carrier.
+
+    Exact (closed-form) evaluation makes it the reference signal for
+    reconstruction-accuracy tests.
+    """
+    return multitone_in_band(
+        PAPER_CARRIER_HZ - 7.5e6,
+        PAPER_CARRIER_HZ + 7.5e6,
+        num_tones=9,
+        amplitude=0.3,
+        seed=20140324,
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_sample_set(paper_band, narrow_tone_signal):
+    """Ideal nonuniform acquisition at the full rate B = 90 MHz."""
+    sampler = IdealNonuniformSampler(paper_band, delay=PAPER_DELAY_S, sample_rate=PAPER_BANDWIDTH_HZ)
+    return sampler.acquire(narrow_tone_signal, num_samples=360)
+
+
+@pytest.fixture(scope="session")
+def slow_sample_set(paper_band, narrow_tone_signal):
+    """Ideal nonuniform acquisition at the reduced rate B1 = B/2 = 45 MHz."""
+    sampler = IdealNonuniformSampler(
+        paper_band, delay=PAPER_DELAY_S, sample_rate=PAPER_BANDWIDTH_HZ / 2.0
+    )
+    return sampler.acquire(narrow_tone_signal, num_samples=180)
+
+
+@pytest.fixture(scope="session")
+def paper_burst():
+    """One burst of the paper's transmitter (QPSK, 10 MHz, SRRC 0.5, 1 GHz)."""
+    transmitter = HomodyneTransmitter(TransmitterConfig.paper_default(seed=7))
+    return transmitter.transmit(num_symbols=64)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic random generator for each test."""
+    return np.random.default_rng(123456)

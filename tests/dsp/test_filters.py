@@ -1,0 +1,109 @@
+"""Tests for repro.dsp.filters."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    bandpass_fir,
+    filter_group_delay,
+    fir_filter,
+    frequency_response,
+    highpass_fir,
+    lowpass_fir,
+    zero_phase_filter,
+)
+from repro.errors import ValidationError
+
+
+RATE = 100e6
+
+
+class TestLowpassDesign:
+    def test_dc_gain_unity(self):
+        taps = lowpass_fir(10e6, RATE, num_taps=101)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_passband_and_stopband(self):
+        taps = lowpass_fir(10e6, RATE, num_taps=201)
+        freqs, response = frequency_response(taps, RATE, num_points=1024)
+        magnitude = np.abs(response)
+        assert np.all(magnitude[freqs < 7e6] > 0.95)
+        assert np.all(magnitude[freqs > 15e6] < 0.02)
+
+    def test_even_taps_rejected(self):
+        with pytest.raises(ValidationError):
+            lowpass_fir(10e6, RATE, num_taps=100)
+
+    def test_cutoff_above_nyquist_rejected(self):
+        with pytest.raises(ValidationError):
+            lowpass_fir(60e6, RATE)
+
+    def test_linear_phase_symmetry(self):
+        taps = lowpass_fir(10e6, RATE, num_taps=101)
+        np.testing.assert_allclose(taps, taps[::-1], atol=1e-15)
+
+
+class TestHighpassDesign:
+    def test_dc_gain_zero(self):
+        taps = highpass_fir(10e6, RATE, num_taps=101)
+        assert abs(np.sum(taps)) < 1e-9
+
+    def test_high_frequency_passes(self):
+        taps = highpass_fir(10e6, RATE, num_taps=201)
+        freqs, response = frequency_response(taps, RATE, num_points=1024)
+        magnitude = np.abs(response)
+        assert np.all(magnitude[freqs > 20e6] > 0.9)
+
+
+class TestBandpassDesign:
+    def test_band_centre_unity(self):
+        taps = bandpass_fir(20e6, 30e6, RATE, num_taps=301)
+        freqs, response = frequency_response(taps, RATE, num_points=2048)
+        magnitude = np.abs(response)
+        centre_bin = np.argmin(np.abs(freqs - 25e6))
+        assert magnitude[centre_bin] == pytest.approx(1.0, abs=0.05)
+
+    def test_out_of_band_rejection(self):
+        taps = bandpass_fir(20e6, 30e6, RATE, num_taps=301)
+        freqs, response = frequency_response(taps, RATE, num_points=2048)
+        magnitude = np.abs(response)
+        assert np.all(magnitude[freqs < 10e6] < 0.02)
+        assert np.all(magnitude[freqs > 40e6] < 0.02)
+
+    def test_swapped_edges_rejected(self):
+        with pytest.raises(ValidationError):
+            bandpass_fir(30e6, 20e6, RATE)
+
+    def test_even_taps_rejected(self):
+        with pytest.raises(ValidationError):
+            bandpass_fir(20e6, 30e6, RATE, num_taps=300)
+
+
+class TestFiltering:
+    def test_fir_filter_length_preserved(self):
+        taps = lowpass_fir(10e6, RATE, num_taps=31)
+        signal = np.random.default_rng(0).normal(size=500)
+        assert fir_filter(taps, signal).size == 500
+
+    def test_zero_phase_no_delay(self):
+        taps = lowpass_fir(5e6, RATE, num_taps=63)
+        n = np.arange(4000)
+        slow_tone = np.cos(2 * np.pi * 1e6 * n / RATE)
+        filtered = zero_phase_filter(taps, slow_tone)
+        # No group delay: the filtered tone stays aligned with the input.
+        np.testing.assert_allclose(filtered[500:3500], slow_tone[500:3500], atol=1e-2)
+
+    def test_zero_phase_too_short_rejected(self):
+        taps = lowpass_fir(5e6, RATE, num_taps=63)
+        with pytest.raises(ValidationError):
+            zero_phase_filter(taps, np.ones(100))
+
+    def test_group_delay(self):
+        taps = lowpass_fir(5e6, RATE, num_taps=63)
+        assert filter_group_delay(taps) == pytest.approx(31.0)
+
+    def test_frequency_response_range(self):
+        taps = lowpass_fir(5e6, RATE, num_taps=63)
+        freqs, _ = frequency_response(taps, RATE, num_points=256)
+        assert freqs[0] == pytest.approx(0.0)
+        assert freqs[-1] <= RATE / 2.0

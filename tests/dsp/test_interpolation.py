@@ -1,0 +1,127 @@
+"""Tests for repro.dsp.interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import (
+    apply_fractional_delay,
+    fractional_delay_taps,
+    linear_interpolate,
+    sinc_interpolate,
+)
+from repro.errors import ValidationError
+
+
+class TestSincInterpolation:
+    def test_on_grid_points_reproduced(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=256)
+        rate = 1e6
+        times = np.arange(64, 192) / rate
+        np.testing.assert_allclose(
+            sinc_interpolate(samples, rate, times), samples[64:192], atol=1e-6
+        )
+
+    def test_oversampled_tone_between_grid_points(self):
+        rate = 100e6
+        tone = 3e6
+        n = np.arange(2048)
+        samples = np.cos(2 * np.pi * tone * n / rate)
+        probe = (n[500:1500] + 0.31) / rate
+        expected = np.cos(2 * np.pi * tone * probe)
+        values = sinc_interpolate(samples, rate, probe, num_taps=48)
+        np.testing.assert_allclose(values, expected, atol=2e-5)
+
+    def test_complex_signal_supported(self):
+        rate = 100e6
+        n = np.arange(1024)
+        samples = np.exp(2j * np.pi * 2e6 * n / rate)
+        probe = (n[300:700] + 0.5) / rate
+        values = sinc_interpolate(samples, rate, probe, num_taps=48)
+        expected = np.exp(2j * np.pi * 2e6 * probe)
+        np.testing.assert_allclose(values, expected, atol=1e-4)
+        assert np.iscomplexobj(values)
+
+    def test_scalar_time_accepted(self):
+        samples = np.ones(64)
+        value = sinc_interpolate(samples, 1e6, 32e-6)
+        assert value.shape == (1,)
+
+    def test_outside_record_tends_to_zero(self):
+        samples = np.ones(32)
+        value = sinc_interpolate(samples, 1e6, 1.0)  # far outside
+        assert abs(value[0]) < 1e-9
+
+    def test_more_taps_more_accurate(self):
+        rate = 100e6
+        n = np.arange(4096)
+        samples = np.cos(2 * np.pi * 11e6 * n / rate)
+        probe = (n[1000:3000] + 0.47) / rate
+        expected = np.cos(2 * np.pi * 11e6 * probe)
+        error_few = np.max(np.abs(sinc_interpolate(samples, rate, probe, num_taps=8) - expected))
+        error_many = np.max(np.abs(sinc_interpolate(samples, rate, probe, num_taps=64) - expected))
+        assert error_many < error_few
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            sinc_interpolate(np.ones(32), 1e6, 1e-6, window="unknown")
+
+
+class TestLinearInterpolation:
+    def test_midpoint(self):
+        samples = np.array([0.0, 1.0, 2.0, 3.0])
+        value = linear_interpolate(samples, 1.0, [1.5])
+        assert value[0] == pytest.approx(1.5)
+
+    def test_complex(self):
+        samples = np.array([0.0 + 0j, 1.0 + 1j])
+        value = linear_interpolate(samples, 1.0, [0.5])
+        assert value[0] == pytest.approx(0.5 + 0.5j)
+
+    def test_worse_than_sinc_for_tone(self):
+        rate = 100e6
+        n = np.arange(2048)
+        samples = np.cos(2 * np.pi * 20e6 * n / rate)
+        probe = (n[500:1500] + 0.5) / rate
+        expected = np.cos(2 * np.pi * 20e6 * probe)
+        err_linear = np.max(np.abs(linear_interpolate(samples, rate, probe) - expected))
+        err_sinc = np.max(np.abs(sinc_interpolate(samples, rate, probe, num_taps=48) - expected))
+        assert err_sinc < err_linear
+
+
+class TestFractionalDelay:
+    def test_taps_sum_to_one(self):
+        taps = fractional_delay_taps(0.3, num_taps=33)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_zero_delay_recovers_signal(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=512)
+        delayed = apply_fractional_delay(samples, 0.0, num_taps=33)
+        np.testing.assert_allclose(delayed[32:-32], samples[32:-32], atol=1e-6)
+
+    def test_half_sample_delay_of_tone(self):
+        rate = 1.0
+        n = np.arange(1024, dtype=float)
+        tone = np.cos(2 * np.pi * 0.05 * n)
+        delayed = apply_fractional_delay(tone, 0.5, num_taps=65)
+        expected = np.cos(2 * np.pi * 0.05 * (n - 0.5))
+        np.testing.assert_allclose(delayed[100:-100], expected[100:-100], atol=1e-3)
+
+    def test_invalid_num_taps(self):
+        with pytest.raises(ValidationError):
+            fractional_delay_taps(0.5, num_taps=2)
+
+    @given(st.floats(min_value=-0.5, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_delay_estimate_matches_request(self, delay):
+        # Cross-correlation peak position of a delayed noise burst matches the
+        # requested integer part (fractional part shifts the parabola peak).
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=1024)
+        delayed = apply_fractional_delay(samples, delay, num_taps=65)
+        correlation = np.correlate(delayed[100:-100], samples[100:-100], mode="full")
+        peak = np.argmax(correlation) - (len(samples[100:-100]) - 1)
+        assert abs(peak) <= 1

@@ -1,0 +1,126 @@
+"""Tests for repro.dsp.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import (
+    effective_number_of_bits,
+    error_vector_magnitude,
+    mean_squared_error,
+    normalised_mean_squared_error,
+    relative_reconstruction_error,
+    signal_to_noise_ratio_db,
+    sinad_db,
+    spurious_free_dynamic_range_db,
+)
+from repro.errors import MeasurementError, ValidationError
+from repro.signals import qpsk
+
+
+class TestErrorMetrics:
+    def test_mse_of_identical_is_zero(self):
+        x = np.random.default_rng(0).normal(size=100)
+        assert mean_squared_error(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_nmse_scale_invariant(self):
+        rng = np.random.default_rng(1)
+        reference = rng.normal(size=200)
+        estimate = reference + 0.1 * rng.normal(size=200)
+        a = normalised_mean_squared_error(reference, estimate)
+        b = normalised_mean_squared_error(5.0 * reference, 5.0 * estimate)
+        assert a == pytest.approx(b)
+
+    def test_nmse_zero_reference_rejected(self):
+        with pytest.raises(MeasurementError):
+            normalised_mean_squared_error(np.zeros(10), np.ones(10))
+
+    def test_relative_error_is_sqrt_of_nmse(self):
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=100)
+        estimate = reference + 0.05 * rng.normal(size=100)
+        assert relative_reconstruction_error(reference, estimate) == pytest.approx(
+            np.sqrt(normalised_mean_squared_error(reference, estimate))
+        )
+
+    def test_snr_db_of_known_noise(self):
+        rng = np.random.default_rng(3)
+        reference = np.sqrt(2.0) * np.sin(2 * np.pi * 0.01 * np.arange(10000))
+        noisy = reference + 0.1 * rng.normal(size=10000)
+        assert signal_to_noise_ratio_db(reference, noisy) == pytest.approx(20.0, abs=0.5)
+
+    def test_snr_infinite_for_perfect(self):
+        x = np.ones(10)
+        assert signal_to_noise_ratio_db(x, x) == float("inf")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    @given(st.floats(min_value=0.001, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_relative_error_tracks_injected_error(self, scale):
+        reference = np.sin(2 * np.pi * 0.01 * np.arange(4096))
+        rng = np.random.default_rng(0)
+        perturbation = rng.normal(size=reference.size)
+        perturbation *= scale * np.sqrt(np.mean(reference**2) / np.mean(perturbation**2))
+        measured = relative_reconstruction_error(reference, reference + perturbation)
+        assert measured == pytest.approx(scale, rel=1e-6)
+
+
+class TestEvm:
+    def test_zero_for_identical(self):
+        symbols = qpsk().map(np.arange(4).repeat(10))
+        assert error_vector_magnitude(symbols, symbols) == pytest.approx(0.0)
+
+    def test_known_offset(self):
+        symbols = qpsk().map(np.arange(4).repeat(25))
+        received = symbols + 0.1
+        expected = 10.0  # |0.1| / rms(1.0) in percent
+        assert error_vector_magnitude(symbols, received) == pytest.approx(expected, rel=1e-6)
+
+    def test_fraction_output(self):
+        symbols = qpsk().map(np.arange(4).repeat(25))
+        received = symbols + 0.1
+        assert error_vector_magnitude(symbols, received, as_percent=False) == pytest.approx(0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(MeasurementError):
+            error_vector_magnitude(np.zeros(4, dtype=complex), np.ones(4, dtype=complex))
+
+
+class TestAdcMetrics:
+    def test_sinad_of_clean_tone_high(self):
+        rate = 100e6
+        n = np.arange(4096)
+        tone = np.sin(2 * np.pi * 5e6 * n / rate)
+        assert sinad_db(tone, rate, 5e6) > 100.0
+
+    def test_sinad_with_noise(self):
+        rate = 100e6
+        rng = np.random.default_rng(5)
+        n = np.arange(16384)
+        tone = np.sin(2 * np.pi * 5e6 * n / rate)
+        noisy = tone + 0.01 * rng.normal(size=n.size)
+        measured = sinad_db(noisy, rate, 5e6)
+        # SNR = 20*log10(rms_sig / rms_noise) = 20*log10(0.707/0.01) ~ 37 dB
+        assert measured == pytest.approx(37.0, abs=1.5)
+
+    def test_enob_formula(self):
+        assert effective_number_of_bits(61.96) == pytest.approx(10.0, abs=0.01)
+
+    def test_sfdr_clean_tone(self):
+        rate = 100e6
+        n = np.arange(8192)
+        tone = np.sin(2 * np.pi * 5e6 * n / rate)
+        assert spurious_free_dynamic_range_db(tone, rate) > 60.0
+
+    def test_sfdr_with_spur(self):
+        rate = 100e6
+        n = np.arange(8192)
+        signal = np.sin(2 * np.pi * 5e6 * n / rate) + 0.01 * np.sin(2 * np.pi * 15e6 * n / rate)
+        assert spurious_free_dynamic_range_db(signal, rate) == pytest.approx(40.0, abs=2.0)

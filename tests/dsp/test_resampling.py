@@ -1,0 +1,67 @@
+"""Tests for repro.dsp.resampling."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import downsample, resample_rational, resample_to_rate, upsample
+from repro.errors import ValidationError
+
+
+class TestUpDownSample:
+    def test_upsample_length_and_zeros(self):
+        out = upsample(np.array([1.0, 2.0, 3.0]), 4)
+        assert out.size == 12
+        np.testing.assert_allclose(out[::4], [1.0, 2.0, 3.0])
+        assert np.all(out[1::4] == 0.0)
+
+    def test_downsample_offset(self):
+        data = np.arange(10.0)
+        np.testing.assert_allclose(downsample(data, 3, offset=1), [1.0, 4.0, 7.0])
+
+    def test_downsample_bad_offset(self):
+        with pytest.raises(ValidationError):
+            downsample(np.arange(10.0), 3, offset=3)
+
+    def test_up_then_down_identity(self):
+        data = np.random.default_rng(0).normal(size=50)
+        np.testing.assert_allclose(downsample(upsample(data, 5), 5), data)
+
+
+class TestRationalResampling:
+    def test_identity_when_equal(self):
+        data = np.random.default_rng(1).normal(size=64)
+        np.testing.assert_allclose(resample_rational(data, 3, 3), data)
+
+    def test_output_length_ratio(self):
+        data = np.random.default_rng(2).normal(size=300)
+        out = resample_rational(data, 2, 3)
+        assert out.size == 200
+
+    def test_tone_preserved(self):
+        rate = 100.0
+        n = np.arange(1000)
+        tone = np.cos(2 * np.pi * 3.0 * n / rate)
+        out = resample_rational(tone, 2, 1)
+        n2 = np.arange(out.size)
+        expected = np.cos(2 * np.pi * 3.0 * n2 / (2 * rate))
+        np.testing.assert_allclose(out[100:-100], expected[100:-100], atol=1e-2)
+
+
+class TestArbitraryResampling:
+    def test_output_duration_preserved(self):
+        data = np.random.default_rng(3).normal(size=1000)
+        out = resample_to_rate(data, 100e6, 37e6)
+        assert out.size == int(np.floor(1000 / 100e6 * 37e6))
+
+    def test_tone_preserved(self):
+        in_rate, out_rate = 100e6, 73e6
+        n = np.arange(4096)
+        tone = np.cos(2 * np.pi * 5e6 * n / in_rate)
+        out = resample_to_rate(tone, in_rate, out_rate, num_taps=48)
+        m = np.arange(out.size)
+        expected = np.cos(2 * np.pi * 5e6 * m / out_rate)
+        np.testing.assert_allclose(out[200:-200], expected[200:-200], atol=1e-3)
+
+    def test_too_short_record_rejected(self):
+        with pytest.raises(ValidationError):
+            resample_to_rate(np.ones(3), 1e6, 1.0)

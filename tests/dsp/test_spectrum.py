@@ -1,0 +1,143 @@
+"""Tests for repro.dsp.spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    adjacent_channel_power_ratio,
+    band_power,
+    occupied_bandwidth,
+    peak_frequency,
+    periodogram,
+    total_power,
+    welch_psd,
+)
+from repro.errors import MeasurementError, ValidationError
+
+
+RATE = 100e6
+
+
+def make_tone(frequency, amplitude=1.0, num=8192, complex_signal=False):
+    n = np.arange(num)
+    if complex_signal:
+        return amplitude * np.exp(2j * np.pi * frequency * n / RATE)
+    return amplitude * np.cos(2 * np.pi * frequency * n / RATE)
+
+
+class TestPeriodogram:
+    def test_peak_at_tone_frequency(self):
+        estimate = periodogram(make_tone(12.5e6), RATE)
+        assert peak_frequency(estimate) == pytest.approx(12.5e6, abs=2 * estimate.resolution_hz)
+
+    def test_total_power_matches_time_domain(self):
+        signal = make_tone(12.5e6, amplitude=2.0)
+        estimate = periodogram(signal, RATE)
+        assert total_power(estimate) == pytest.approx(np.mean(signal**2), rel=0.05)
+
+    def test_two_sided_for_complex_input(self):
+        estimate = periodogram(make_tone(10e6, complex_signal=True), RATE)
+        assert estimate.two_sided
+        assert estimate.frequencies_hz[0] < 0.0
+
+    def test_one_sided_for_real_input(self):
+        estimate = periodogram(make_tone(10e6), RATE)
+        assert not estimate.two_sided
+        assert estimate.frequencies_hz[0] >= 0.0
+
+    def test_complex_tone_power_preserved(self):
+        signal = make_tone(10e6, amplitude=1.5, complex_signal=True)
+        estimate = periodogram(signal, RATE)
+        assert total_power(estimate) == pytest.approx(np.mean(np.abs(signal) ** 2), rel=0.05)
+
+    def test_short_record_rejected(self):
+        with pytest.raises(ValidationError):
+            periodogram(np.ones(4), RATE)
+
+    def test_normalised_db_peak_is_zero(self):
+        estimate = periodogram(make_tone(10e6), RATE)
+        assert np.max(estimate.normalised_db()) == pytest.approx(0.0)
+
+
+class TestWelch:
+    def test_variance_reduction(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=16384)
+        single = periodogram(noise, RATE)
+        averaged = welch_psd(noise, RATE, segment_length=1024)
+        assert np.std(averaged.psd) < np.std(single.psd)
+
+    def test_white_noise_level(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(0.0, 1.0, size=65536)
+        estimate = welch_psd(noise, RATE, segment_length=2048)
+        # White noise of unit variance: PSD ~ 2/fs (one-sided).
+        expected = 2.0 / RATE
+        assert np.median(estimate.psd) == pytest.approx(expected, rel=0.15)
+
+    def test_segment_longer_than_record_clipped(self):
+        estimate = welch_psd(make_tone(10e6, num=512), RATE, segment_length=4096)
+        assert peak_frequency(estimate) == pytest.approx(10e6, abs=3 * estimate.resolution_hz)
+
+    def test_bad_overlap_rejected(self):
+        with pytest.raises(ValidationError):
+            welch_psd(make_tone(1e6), RATE, overlap_fraction=1.0)
+
+
+class TestBandPower:
+    def test_tone_power_in_band(self):
+        estimate = periodogram(make_tone(12.5e6, amplitude=2.0), RATE)
+        power = band_power(estimate, 12e6, 13e6)
+        assert power == pytest.approx(2.0, rel=0.05)
+
+    def test_out_of_band_power_small(self):
+        estimate = periodogram(make_tone(12.5e6), RATE)
+        assert band_power(estimate, 30e6, 40e6) < 1e-3
+
+    def test_invalid_band_rejected(self):
+        estimate = periodogram(make_tone(12.5e6), RATE)
+        with pytest.raises(ValidationError):
+            band_power(estimate, 13e6, 12e6)
+
+    def test_empty_band_is_zero(self):
+        estimate = periodogram(make_tone(12.5e6), RATE)
+        assert band_power(estimate, 49.9999e6, 49.99999e6) == 0.0
+
+
+class TestOccupiedBandwidth:
+    def test_narrow_tone(self):
+        estimate = periodogram(make_tone(12.5e6), RATE)
+        bandwidth, low, high = occupied_bandwidth(estimate, 0.99)
+        assert bandwidth < 1e6
+        assert low < 12.5e6 < high
+
+    def test_wideband_noise(self):
+        rng = np.random.default_rng(2)
+        noise = rng.normal(size=65536)
+        estimate = welch_psd(noise, RATE, segment_length=2048)
+        bandwidth, _, _ = occupied_bandwidth(estimate, 0.99)
+        assert bandwidth > 0.9 * 0.99 * RATE / 2.0
+
+    def test_invalid_fraction(self):
+        estimate = periodogram(make_tone(10e6), RATE)
+        with pytest.raises(ValidationError):
+            occupied_bandwidth(estimate, 1.0)
+
+
+class TestAcpr:
+    def test_clean_tone_has_low_acpr(self):
+        estimate = periodogram(make_tone(25e6), RATE)
+        result = adjacent_channel_power_ratio(estimate, 25e6, 2e6, offset_hz=5e6)
+        assert result["worst_db"] < -30.0
+
+    def test_interferer_raises_acpr(self):
+        signal = make_tone(25e6) + 0.5 * make_tone(30e6)
+        estimate = periodogram(signal, RATE)
+        result = adjacent_channel_power_ratio(estimate, 25e6, 2e6, offset_hz=5e6)
+        assert result["upper_db"] > -10.0
+        assert result["worst_db"] == pytest.approx(result["upper_db"])
+
+    def test_no_main_power_rejected(self):
+        estimate = periodogram(make_tone(25e6), RATE)
+        with pytest.raises(MeasurementError):
+            adjacent_channel_power_ratio(estimate, 45e6, 1e3, offset_hz=1e6)

@@ -1,0 +1,113 @@
+"""Tests for repro.rf.mixer and repro.rf.filters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.rf import (
+    AnalogBandpass,
+    AnalogLowpass,
+    DcOffset,
+    IqImbalance,
+    LocalOscillator,
+    PhaseNoiseModel,
+    QuadratureModulator,
+)
+from repro.signals import ComplexEnvelope
+
+
+def tone_envelope(offset_hz, rate=100e6, num=4096, amplitude=1.0):
+    t = np.arange(num) / rate
+    return ComplexEnvelope(amplitude * np.exp(2j * np.pi * offset_hz * t), rate)
+
+
+class TestAnalogLowpass:
+    def test_passband_tone_survives(self):
+        envelope = tone_envelope(2e6)
+        filtered = AnalogLowpass(cutoff_hz=10e6, order=5).apply(envelope)
+        assert filtered.mean_power() == pytest.approx(envelope.mean_power(), rel=0.02)
+
+    def test_stopband_tone_attenuated(self):
+        envelope = tone_envelope(40e6)
+        filtered = AnalogLowpass(cutoff_hz=10e6, order=5).apply(envelope)
+        assert filtered.mean_power() < 0.01 * envelope.mean_power()
+
+    def test_cutoff_above_nyquist_is_identity(self):
+        envelope = tone_envelope(2e6)
+        assert AnalogLowpass(cutoff_hz=80e6).apply(envelope) is envelope
+
+    def test_type_check(self):
+        with pytest.raises(ValidationError):
+            AnalogLowpass(cutoff_hz=1e6).apply(np.ones(10))
+
+
+class TestAnalogBandpass:
+    def test_centred_filter_keeps_inband(self):
+        envelope = tone_envelope(3e6)
+        filtered = AnalogBandpass(bandwidth_hz=20e6).apply(envelope)
+        assert filtered.mean_power() == pytest.approx(envelope.mean_power(), rel=0.05)
+
+    def test_centred_filter_rejects_far_out(self):
+        envelope = tone_envelope(45e6)
+        filtered = AnalogBandpass(bandwidth_hz=20e6).apply(envelope)
+        assert filtered.mean_power() < 0.05 * envelope.mean_power()
+
+    def test_offset_filter_moves_passband(self):
+        # Filter centred +30 MHz from the carrier: a +30 MHz envelope tone passes,
+        # a -30 MHz tone is rejected.
+        passband_tone = tone_envelope(30e6)
+        stopband_tone = tone_envelope(-30e6)
+        bandpass = AnalogBandpass(bandwidth_hz=10e6, centre_offset_hz=30e6)
+        assert bandpass.apply(passband_tone).mean_power() == pytest.approx(
+            passband_tone.mean_power(), rel=0.05
+        )
+        assert bandpass.apply(stopband_tone).mean_power() < 0.05 * stopband_tone.mean_power()
+
+
+class TestQuadratureModulator:
+    def make_modulator(self, **kwargs):
+        return QuadratureModulator(
+            local_oscillator=LocalOscillator(frequency_hz=1e9), **kwargs
+        )
+
+    def test_carrier_frequency(self):
+        assert self.make_modulator().carrier_frequency == pytest.approx(1e9)
+
+    def test_ideal_upconversion_preserves_envelope(self):
+        envelope = tone_envelope(5e6)
+        signal = self.make_modulator().upconvert(envelope)
+        np.testing.assert_allclose(signal.envelope.samples, envelope.samples)
+        assert signal.carrier_frequency == pytest.approx(1e9)
+
+    def test_impairments_applied(self):
+        envelope = tone_envelope(5e6)
+        modulator = self.make_modulator(
+            iq_imbalance=IqImbalance(gain_imbalance_db=1.0, phase_imbalance_deg=3.0),
+            dc_offset=DcOffset(i_offset=0.1),
+        )
+        impaired = modulator.impair_envelope(envelope)
+        assert not np.allclose(impaired.samples, envelope.samples)
+        assert np.mean(impaired.samples).real == pytest.approx(0.1, abs=5e-3)
+
+    def test_phase_noise_applied(self):
+        envelope = tone_envelope(5e6)
+        modulator = QuadratureModulator(
+            local_oscillator=LocalOscillator(
+                frequency_hz=1e9, phase_noise=PhaseNoiseModel(linewidth_hz=1e4), seed=0
+            )
+        )
+        impaired = modulator.impair_envelope(envelope)
+        assert not np.allclose(impaired.samples, envelope.samples)
+        np.testing.assert_allclose(np.abs(impaired.samples), np.abs(envelope.samples), atol=1e-12)
+
+    def test_passband_waveform_matches_expected_tone(self):
+        # envelope tone at +5 MHz on a 1 GHz carrier -> passband tone at 1.005 GHz.
+        envelope = tone_envelope(5e6, amplitude=1.0)
+        signal = self.make_modulator().upconvert(envelope)
+        times = 5e-6 + np.arange(32) / 8.1e9
+        expected = np.cos(2 * np.pi * 1.005e9 * times)
+        np.testing.assert_allclose(signal.evaluate(times), expected, atol=5e-3)
+
+    def test_invalid_lo_type(self):
+        with pytest.raises(ValidationError):
+            QuadratureModulator(local_oscillator="lo")

@@ -1,0 +1,130 @@
+"""Tests for repro.signals.pulse_shaping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.signals import (
+    PulseShaper,
+    gaussian_pulse_taps,
+    qpsk,
+    raised_cosine_taps,
+    root_raised_cosine_taps,
+)
+
+
+class TestRaisedCosine:
+    def test_length(self):
+        taps = raised_cosine_taps(8, 10, 0.5)
+        assert taps.size == 81
+
+    def test_peak_is_one_at_centre(self):
+        taps = raised_cosine_taps(8, 10, 0.5)
+        assert taps[40] == pytest.approx(1.0)
+
+    def test_nyquist_zero_crossings(self):
+        # The RC pulse is zero at every nonzero multiple of the symbol period.
+        sps = 8
+        taps = raised_cosine_taps(sps, 10, 0.35)
+        centre = (taps.size - 1) // 2
+        for k in range(1, 5):
+            assert taps[centre + k * sps] == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_rolloff_is_sinc(self):
+        taps = raised_cosine_taps(4, 6, 0.0)
+        t = (np.arange(taps.size) - (taps.size - 1) / 2) / 4
+        np.testing.assert_allclose(taps, np.sinc(t), atol=1e-12)
+
+    def test_invalid_rolloff(self):
+        with pytest.raises(ValidationError):
+            raised_cosine_taps(8, 10, 1.5)
+
+
+class TestRootRaisedCosine:
+    def test_unit_energy(self):
+        taps = root_raised_cosine_taps(16, 10, 0.5)
+        assert np.sum(taps**2) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        taps = root_raised_cosine_taps(16, 10, 0.5)
+        np.testing.assert_allclose(taps, taps[::-1], atol=1e-12)
+
+    def test_cascade_is_nyquist(self):
+        # SRRC * SRRC (matched pair) must be ISI-free at symbol spacing.
+        sps = 8
+        taps = root_raised_cosine_taps(sps, 12, 0.5)
+        cascade = np.convolve(taps, taps)
+        centre = (cascade.size - 1) // 2
+        peak = cascade[centre]
+        for k in range(1, 5):
+            assert abs(cascade[centre + k * sps] / peak) < 1e-3
+
+    def test_zero_rolloff_is_normalised_sinc(self):
+        taps = root_raised_cosine_taps(4, 8, 0.0)
+        assert np.sum(taps**2) == pytest.approx(1.0)
+
+    def test_occupied_bandwidth_grows_with_rolloff(self):
+        sps = 16
+        narrow = np.abs(np.fft.rfft(root_raised_cosine_taps(sps, 16, 0.1), 4096))
+        wide = np.abs(np.fft.rfft(root_raised_cosine_taps(sps, 16, 0.9), 4096))
+        # Compare energy beyond the half-symbol-rate bin.
+        half_rate_bin = 4096 // (2 * sps)
+        assert np.sum(wide[half_rate_bin + 50 :] ** 2) > np.sum(narrow[half_rate_bin + 50 :] ** 2)
+
+
+class TestGaussianPulse:
+    def test_unit_dc_gain(self):
+        taps = gaussian_pulse_taps(8, 6, 0.3)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_wider_bt_is_narrower_in_time(self):
+        narrow_time = gaussian_pulse_taps(8, 6, 1.0)
+        wide_time = gaussian_pulse_taps(8, 6, 0.2)
+        assert np.max(narrow_time) > np.max(wide_time)
+
+    def test_invalid_bt(self):
+        with pytest.raises(ValidationError):
+            gaussian_pulse_taps(8, 6, 0.0)
+
+
+class TestPulseShaper:
+    def test_shape_length(self):
+        shaper = PulseShaper.root_raised_cosine(8, span_symbols=6, rolloff=0.5)
+        symbols = qpsk().map(np.arange(4).repeat(8))
+        shaped = shaper.shape(symbols)
+        assert shaped.size == symbols.size * 8 + shaper.taps.size - 1
+
+    def test_shape_trimmed_length(self):
+        shaper = PulseShaper.root_raised_cosine(8, span_symbols=6, rolloff=0.5)
+        symbols = qpsk().map(np.zeros(32, dtype=int))
+        assert shaper.shape_trimmed(symbols).size == 32 * 8
+
+    def test_trimmed_short_block_still_has_nominal_length(self):
+        # Even when the block is shorter than the filter span the trimmed
+        # output keeps the nominal num_symbols * sps length (the content is
+        # simply transient-contaminated).
+        shaper = PulseShaper.root_raised_cosine(8, span_symbols=64, rolloff=0.5)
+        symbols = qpsk().map(np.zeros(16, dtype=int))
+        assert shaper.shape_trimmed(symbols).size == 16 * 8
+
+    def test_matched_filter_recovers_symbols(self):
+        sps = 8
+        shaper = PulseShaper.root_raised_cosine(sps, span_symbols=10, rolloff=0.5)
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 4, 64)
+        symbols = qpsk().map(indices)
+        shaped = shaper.shape(symbols)
+        matched = shaper.matched_filter(shaped)
+        # Total delay of shaping + matched filtering is the full filter length minus one.
+        delay = shaper.taps.size - 1
+        sampled = matched[delay : delay + 64 * sps : sps]
+        recovered = qpsk().demap(sampled)
+        np.testing.assert_array_equal(recovered, indices)
+
+    def test_group_delay(self):
+        shaper = PulseShaper.root_raised_cosine(8, span_symbols=10)
+        assert shaper.group_delay_samples == 40
+
+    def test_invalid_sps(self):
+        with pytest.raises(ValidationError):
+            PulseShaper.root_raised_cosine(0)

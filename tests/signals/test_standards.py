@@ -1,0 +1,82 @@
+"""Tests for repro.signals.standards."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.signals import PROFILES, WaveformProfile, get_constellation, get_profile, list_profiles
+
+
+class TestBuiltInProfiles:
+    def test_paper_profile_exists(self):
+        profile = get_profile("paper-qpsk-1ghz")
+        assert profile.carrier_frequency_hz == pytest.approx(1e9)
+        assert profile.symbol_rate_hz == pytest.approx(10e6)
+        assert profile.modulation == "qpsk"
+        assert profile.rolloff == pytest.approx(0.5)
+
+    def test_all_profiles_listed(self):
+        assert set(list_profiles()) == set(PROFILES)
+        assert len(list_profiles()) >= 5
+
+    def test_every_profile_has_valid_modulation(self):
+        for name in list_profiles():
+            profile = get_profile(name)
+            constellation = get_constellation(profile.modulation)
+            assert constellation.order >= 2
+
+    def test_every_profile_mask_monotone_offsets(self):
+        for name in list_profiles():
+            profile = get_profile(name)
+            offsets = [point[0] for point in profile.mask_points_db]
+            assert offsets == sorted(offsets)
+
+    def test_every_profile_mask_limits_non_positive(self):
+        for name in list_profiles():
+            for _, limit in get_profile(name).mask_points_db:
+                assert limit <= 0.0
+
+    def test_occupied_bandwidth_below_channel_bandwidth(self):
+        for name in list_profiles():
+            profile = get_profile(name)
+            assert profile.occupied_bandwidth_hz <= profile.channel_bandwidth_hz * 1.05
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValidationError):
+            get_profile("does-not-exist")
+
+
+class TestWaveformProfileValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="test",
+            carrier_frequency_hz=1e9,
+            symbol_rate_hz=1e6,
+            modulation="qpsk",
+            rolloff=0.25,
+            channel_bandwidth_hz=1.5e6,
+            channel_spacing_hz=2e6,
+            acpr_limit_db=-40.0,
+            evm_limit_percent=10.0,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid_profile(self):
+        profile = WaveformProfile(**self._kwargs())
+        assert profile.occupied_bandwidth_hz == pytest.approx(1.25e6)
+
+    def test_rolloff_out_of_range(self):
+        with pytest.raises(ValidationError):
+            WaveformProfile(**self._kwargs(rolloff=1.2))
+
+    def test_positive_acpr_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            WaveformProfile(**self._kwargs(acpr_limit_db=5.0))
+
+    def test_zero_evm_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            WaveformProfile(**self._kwargs(evm_limit_percent=0.0))
+
+    def test_zero_carrier_rejected(self):
+        with pytest.raises(ValidationError):
+            WaveformProfile(**self._kwargs(carrier_frequency_hz=0.0))

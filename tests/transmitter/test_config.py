@@ -1,0 +1,65 @@
+"""Tests for repro.transmitter.config."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.rf import IqImbalance, RappAmplifier
+from repro.signals import get_profile
+from repro.transmitter import ImpairmentConfig, TransmitterConfig
+
+
+class TestImpairmentConfig:
+    def test_ideal_default(self):
+        config = ImpairmentConfig.ideal()
+        assert config.iq_imbalance.is_ideal
+        assert config.dc_offset.is_ideal
+        assert config.phase_noise.is_ideal
+        assert config.output_snr_db is None
+
+    def test_with_amplifier(self):
+        amplifier = RappAmplifier(gain_db=0.0, saturation_amplitude=0.5)
+        config = ImpairmentConfig().with_amplifier(amplifier)
+        assert config.amplifier is amplifier
+        # Other fields untouched
+        assert config.iq_imbalance.is_ideal
+
+
+class TestTransmitterConfig:
+    def test_paper_default_matches_section_v(self):
+        config = TransmitterConfig.paper_default()
+        assert config.carrier_frequency_hz == pytest.approx(1e9)
+        assert config.symbol_rate_hz == pytest.approx(10e6)
+        assert config.modulation == "qpsk"
+        assert config.rolloff == pytest.approx(0.5)
+
+    def test_envelope_sample_rate(self):
+        config = TransmitterConfig.paper_default()
+        assert config.envelope_sample_rate == pytest.approx(160e6)
+
+    def test_occupied_bandwidth(self):
+        config = TransmitterConfig.paper_default()
+        assert config.occupied_bandwidth_hz == pytest.approx(15e6)
+
+    def test_from_profile(self):
+        profile = get_profile("uhf-8psk-400mhz")
+        config = TransmitterConfig.from_profile(profile)
+        assert config.carrier_frequency_hz == pytest.approx(profile.carrier_frequency_hz)
+        assert config.modulation == profile.modulation
+        assert config.rolloff == pytest.approx(profile.rolloff)
+
+    def test_custom_impairments_carried(self):
+        impairments = ImpairmentConfig(iq_imbalance=IqImbalance(gain_imbalance_db=1.0))
+        config = TransmitterConfig.paper_default(impairments=impairments)
+        assert config.impairments.iq_imbalance.gain_imbalance_db == pytest.approx(1.0)
+
+    def test_invalid_rolloff(self):
+        with pytest.raises(ReproError):
+            TransmitterConfig(rolloff=1.5)
+
+    def test_envelope_rate_above_carrier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransmitterConfig(carrier_frequency_hz=50e6, symbol_rate_hz=10e6, samples_per_symbol=16)
+
+    def test_invalid_samples_per_symbol(self):
+        with pytest.raises(ReproError):
+            TransmitterConfig(samples_per_symbol=1)

@@ -1,0 +1,71 @@
+"""Tests for repro.transmitter.dac."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.signals import ComplexEnvelope
+from repro.transmitter import TransmitDac
+
+
+def ramp_envelope(num=1024, rate=100e6, amplitude=1.0):
+    ramp = np.linspace(-amplitude, amplitude, num)
+    return ComplexEnvelope(ramp + 1j * ramp[::-1], rate)
+
+
+class TestQuantisation:
+    def test_high_resolution_nearly_transparent(self):
+        envelope = ramp_envelope()
+        converted = TransmitDac(resolution_bits=14, full_scale=2.0).convert(envelope)
+        error = np.max(np.abs(converted.samples - envelope.samples))
+        assert error < 2.0 * 2.0 * 2.0 / 2**14
+
+    def test_coarse_resolution_visible(self):
+        envelope = ramp_envelope()
+        converted = TransmitDac(resolution_bits=4, full_scale=2.0).convert(envelope)
+        unique_levels = np.unique(np.round(converted.samples.real, 9))
+        assert unique_levels.size <= 2**4
+
+    def test_clipping_at_full_scale(self):
+        envelope = ramp_envelope(amplitude=5.0)
+        dac = TransmitDac(resolution_bits=12, full_scale=1.0)
+        converted = dac.convert(envelope)
+        assert np.max(converted.samples.real) <= 1.0
+        assert np.min(converted.samples.real) >= -1.0
+
+    def test_step_size(self):
+        dac = TransmitDac(resolution_bits=10, full_scale=1.0)
+        assert dac.step_size == pytest.approx(2.0 / 1024)
+
+    def test_type_check(self):
+        with pytest.raises(ValidationError):
+            TransmitDac().convert(np.ones(16))
+
+
+class TestAnalogStages:
+    def test_reconstruction_filter_removes_high_frequency(self):
+        rate = 100e6
+        t = np.arange(4096) / rate
+        wanted = np.exp(2j * np.pi * 2e6 * t)
+        spurious = 0.5 * np.exp(2j * np.pi * 45e6 * t)
+        envelope = ComplexEnvelope(wanted + spurious, rate)
+        dac = TransmitDac(resolution_bits=14, full_scale=4.0, reconstruction_cutoff_hz=10e6)
+        converted = dac.convert(envelope)
+        # The 45 MHz image is suppressed; wanted tone power (1.0) remains.
+        assert converted.mean_power() == pytest.approx(1.0, rel=0.05)
+
+    def test_zero_order_hold_droop_attenuates_band_edge(self):
+        rate = 100e6
+        t = np.arange(4096) / rate
+        edge_tone = ComplexEnvelope(np.exp(2j * np.pi * 45e6 * t), rate)
+        dac = TransmitDac(resolution_bits=14, full_scale=4.0, apply_zero_order_hold_droop=True)
+        converted = dac.convert(edge_tone)
+        assert converted.mean_power() < 0.75 * edge_tone.mean_power()
+
+    def test_droop_negligible_at_low_frequency(self):
+        rate = 100e6
+        t = np.arange(4096) / rate
+        low_tone = ComplexEnvelope(np.exp(2j * np.pi * 1e6 * t), rate)
+        dac = TransmitDac(resolution_bits=14, full_scale=4.0, apply_zero_order_hold_droop=True)
+        converted = dac.convert(low_tone)
+        assert converted.mean_power() == pytest.approx(low_tone.mean_power(), rel=0.01)

@@ -1,0 +1,62 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils import ensure_generator, spawn_generators
+
+
+class TestEnsureGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_generator(42).integers(0, 1000, 10)
+        b = ensure_generator(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_generator(1).integers(0, 1_000_000, 20)
+        b = ensure_generator(2).integers(0, 1_000_000, 20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        generator = ensure_generator(np.random.SeedSequence(5))
+        assert isinstance(generator, np.random.Generator)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            ensure_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(7, 4)) == 4
+
+    def test_children_are_independent(self):
+        children = spawn_generators(7, 2)
+        a = children[0].normal(size=50)
+        b = children[1].normal(size=50)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+    def test_children_reproducible_from_int_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_generators(11, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_generators(11, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        children = spawn_generators(np.random.default_rng(3), 3)
+        assert len(children) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            spawn_generators(1, 0)
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(ValidationError):
+            spawn_generators(3.5, 2)

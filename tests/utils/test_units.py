@@ -1,0 +1,105 @@
+"""Tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils import units
+
+
+class TestPowerConversions:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_about_two(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_inverse(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            units.linear_to_db(-1.0)
+
+    def test_vectorised(self):
+        values = units.db_to_linear(np.array([0.0, 10.0, 20.0]))
+        np.testing.assert_allclose(values, [1.0, 10.0, 100.0])
+
+    @given(st.floats(min_value=-120.0, max_value=120.0))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_power(self, value_db):
+        assert units.linear_to_db(units.db_to_linear(value_db)) == pytest.approx(value_db, abs=1e-9)
+
+    @given(st.floats(min_value=-120.0, max_value=120.0))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_amplitude(self, value_db):
+        linear = units.db_to_amplitude_ratio(value_db)
+        assert units.amplitude_ratio_to_db(linear) == pytest.approx(value_db, abs=1e-9)
+
+    def test_amplitude_vs_power_db_factor_two(self):
+        # The same dB value corresponds to the square root in amplitude terms.
+        assert units.db_to_amplitude_ratio(20.0) == pytest.approx(10.0)
+        assert units.db_to_linear(20.0) == pytest.approx(100.0)
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watt(30.0) == pytest.approx(1.0)
+
+    def test_watt_to_dbm_round_trip(self):
+        assert units.watt_to_dbm(units.dbm_to_watt(17.0)) == pytest.approx(17.0)
+
+    def test_watt_to_dbm_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            units.watt_to_dbm(0.0)
+
+    def test_dbm_to_vrms_50_ohm(self):
+        # 0 dBm into 50 ohm is about 223.6 mV rms.
+        assert units.dbm_to_vrms(0.0) == pytest.approx(0.2236, rel=1e-3)
+
+    def test_vrms_round_trip(self):
+        assert units.vrms_to_dbm(units.dbm_to_vrms(-10.0)) == pytest.approx(-10.0)
+
+    def test_vrms_rejects_bad_impedance(self):
+        with pytest.raises(ValidationError):
+            units.dbm_to_vrms(0.0, impedance_ohms=0.0)
+
+
+class TestFrequencyAndTime:
+    def test_prefix_helpers(self):
+        assert units.khz(1.0) == 1e3
+        assert units.mhz(90.0) == 90e6
+        assert units.ghz(1.0) == 1e9
+        assert units.hz(42.0) == 42.0
+
+    def test_picosecond_round_trip(self):
+        assert units.ps_to_seconds(units.seconds_to_ps(1.8e-10)) == pytest.approx(1.8e-10)
+
+    def test_nanosecond_round_trip(self):
+        assert units.seconds_to_ns(units.ns_to_seconds(470.0)) == pytest.approx(470.0)
+
+    def test_period_of_1ghz(self):
+        assert units.period(1e9) == pytest.approx(1e-9)
+
+    def test_period_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            units.period(0.0)
+
+    def test_wavelength_of_1ghz(self):
+        assert units.wavelength(1e9) == pytest.approx(0.2998, rel=1e-3)
+
+    def test_wavelength_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            units.wavelength(-1.0)

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils import windows
+
+
+ALL_WINDOWS = ["kaiser", "hann", "hamming", "blackman", "rectangular"]
+
+
+class TestWindowShapes:
+    @pytest.mark.parametrize("name", ALL_WINDOWS)
+    def test_length(self, name):
+        assert len(windows.make_window(name, 61)) == 61
+
+    @pytest.mark.parametrize("name", ALL_WINDOWS)
+    def test_symmetry(self, name):
+        w = windows.make_window(name, 61)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-12)
+
+    @pytest.mark.parametrize("name", [n for n in ALL_WINDOWS if n != "rectangular"])
+    def test_peak_at_centre(self, name):
+        w = windows.make_window(name, 61)
+        assert np.argmax(w) == 30
+
+    @pytest.mark.parametrize("name", ALL_WINDOWS)
+    def test_values_in_unit_interval(self, name):
+        w = windows.make_window(name, 129)
+        assert np.all(w <= 1.0 + 1e-12)
+        assert np.all(w >= -1e-12)
+
+    @pytest.mark.parametrize("name", ALL_WINDOWS)
+    def test_single_tap_is_one(self, name):
+        np.testing.assert_allclose(windows.make_window(name, 1), [1.0])
+
+    def test_rectangular_is_all_ones(self):
+        np.testing.assert_allclose(windows.rectangular_window(10), np.ones(10))
+
+    def test_kaiser_beta_zero_is_rectangular(self):
+        np.testing.assert_allclose(windows.kaiser_window(31, beta=0.0), np.ones(31))
+
+    def test_kaiser_larger_beta_narrower(self):
+        narrow = windows.kaiser_window(61, beta=12.0)
+        wide = windows.kaiser_window(61, beta=2.0)
+        # Higher beta concentrates energy: edge samples are smaller.
+        assert narrow[0] < wide[0]
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ValidationError):
+            windows.make_window("gaussian", 11)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValidationError):
+            windows.kaiser_window(0)
+
+
+class TestKaiserBetaFormula:
+    def test_high_attenuation_branch(self):
+        assert windows.kaiser_beta_for_attenuation(60.0) == pytest.approx(0.1102 * (60.0 - 8.7))
+
+    def test_mid_attenuation_branch(self):
+        beta = windows.kaiser_beta_for_attenuation(30.0)
+        assert 0.0 < beta < 5.0
+
+    def test_low_attenuation_is_zero(self):
+        assert windows.kaiser_beta_for_attenuation(10.0) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=120.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_attenuation(self, attenuation):
+        beta_low = windows.kaiser_beta_for_attenuation(attenuation)
+        beta_high = windows.kaiser_beta_for_attenuation(attenuation + 5.0)
+        assert beta_high >= beta_low
