@@ -1,0 +1,98 @@
+"""Extension experiment: parallel campaign execution on a process pool.
+
+The paper's flexibility argument implies *large* campaigns (every supported
+waveform x every fault scenario), so the campaign runner distributes
+scenarios over worker processes.  This benchmark runs the same scenario grid
+serially and in parallel, verifies the two paths produce bit-identical
+reports (the determinism contract of :class:`repro.bist.runner.CampaignRunner`)
+and reports the wall-clock speedup.
+
+On a single-core container the parallel path cannot be faster (the printed
+speedup documents the pool overhead instead); the speedup assertion is only
+armed on comfortably multi-core hosts.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.bist import (
+    BistConfig,
+    CampaignRunner,
+    ConverterSpec,
+    ScenarioGrid,
+    iq_imbalance_sweep,
+    pa_saturation_sweep,
+)
+
+from conftest import print_header
+
+GRID_CONFIG = BistConfig(
+    num_samples_fast=300,
+    num_samples_slow=150,
+    lms_max_iterations=40,
+    num_cost_points=150,
+    measure_evm_enabled=False,
+)
+
+CONVERTER = ConverterSpec(dcde_static_error_seconds=5e-12, channel1_skew_seconds=2e-12, seed=314)
+
+
+def build_scenarios():
+    """A 6-scenario grid on the paper's waveform (nominal + 5 fault levels)."""
+    from repro.transmitter import ImpairmentConfig
+
+    return (
+        ScenarioGrid()
+        .add_profiles("paper-qpsk-1ghz")
+        .add_impairment("nominal", ImpairmentConfig())
+        .add_impairments(pa_saturation_sweep([0.6, 0.75, 1.0]))
+        .add_impairments(iq_imbalance_sweep([(1.0, 5.0), (2.5, 15.0)]))
+        .build()
+    )
+
+
+def run_with_workers(scenarios, max_workers):
+    runner = CampaignRunner(
+        bist_config=GRID_CONFIG, converter_factory=CONVERTER, max_workers=max_workers
+    )
+    return runner.run(scenarios)
+
+
+def test_parallel_campaign(benchmark):
+    scenarios = build_scenarios()
+    cpu_count = os.cpu_count() or 1
+    workers = min(4, max(2, cpu_count))
+
+    start = time.perf_counter()
+    serial = run_with_workers(scenarios, 1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(run_with_workers, args=(scenarios, workers), rounds=1, iterations=1)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds
+    print_header("Extension - parallel campaign execution (CampaignRunner)")
+    print(f"scenarios: {len(scenarios)}, host CPUs: {cpu_count}, pool workers: {workers}")
+    print(f"{'mode':<12} {'wall s':>8} {'scenario work s':>16}")
+    print("-" * 38)
+    print(f"{'serial':<12} {serial_seconds:>8.2f} {serial.total_duration_seconds:>16.2f}")
+    print(f"{'parallel':<12} {parallel_seconds:>8.2f} {parallel.total_duration_seconds:>16.2f}")
+    print(f"speedup: {speedup:.2f}x")
+
+    # --- Expected behaviour ---------------------------------------------------
+    # Determinism: the parallel path is bit-identical to the serial one.
+    assert not serial.errors and not parallel.errors
+    assert len(parallel.reports) == len(scenarios)
+    for a, b in zip(serial.reports, parallel.reports):
+        assert a.to_dict() == b.to_dict()
+        assert np.array_equal(a.measurements.spectrum.psd, b.measurements.spectrum.psd)
+    # The grid separates healthy from faulty units.
+    outcomes = {outcome.label: outcome.report for outcome in serial.outcomes}
+    assert outcomes["paper-qpsk-1ghz/nominal"].passed
+    assert not outcomes["paper-qpsk-1ghz/pa-sat-0.6"].passed
+    # Fan-out pays off whenever real parallel hardware is available.
+    if cpu_count >= 4:
+        assert speedup > 1.0, f"expected parallel speedup on {cpu_count} CPUs, got {speedup:.2f}x"

@@ -6,11 +6,16 @@ the BIST engine across a set of waveform profiles and impairment scenarios
 scalable across a large set of complex specifications" promise of the paper:
 the same hardware and the same DSP pipeline are reused for every profile by
 merely re-parameterising the acquisition.
+
+This module holds the campaign *data model* (scenarios, converter
+specifications, per-scenario execution) and the backward-compatible
+:class:`BistCampaign` facade; the parallel orchestration machinery lives in
+:mod:`repro.bist.runner`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..adc.adc import AdcChannel
 from ..adc.mismatch import ChannelMismatch
@@ -21,9 +26,18 @@ from ..signals.standards import WaveformProfile, get_profile
 from ..transmitter.chain import HomodyneTransmitter
 from ..transmitter.config import ImpairmentConfig, TransmitterConfig
 from .engine import BistConfig, TransmitterBist
-from .report import BistReport
+from .report import BistReport, CampaignSummary
 
-__all__ = ["CampaignScenario", "CampaignResult", "BistCampaign", "default_converter"]
+__all__ = [
+    "CampaignScenario",
+    "CampaignResult",
+    "BistCampaign",
+    "ConverterSpec",
+    "default_converter",
+    "scenario_bandwidth",
+    "scenario_bist_config",
+    "execute_scenario",
+]
 
 
 def default_converter(
@@ -41,22 +55,68 @@ def default_converter(
     unknown timing errors that make the programmed delay differ from the
     physical one — the situation the LMS calibration exists to handle.
     """
-    return BpTiadc(
-        sample_rate=acquisition_bandwidth_hz,
-        dcde=DigitallyControlledDelayElement(static_error_seconds=dcde_static_error_seconds),
-        channel0=AdcChannel(
-            quantizer=UniformQuantizer(resolution_bits, full_scale),
-            mismatch=ChannelMismatch(),
-            seed=None,
-        ),
-        channel1=AdcChannel(
-            quantizer=UniformQuantizer(resolution_bits, full_scale),
-            mismatch=ChannelMismatch(skew_seconds=channel1_skew_seconds),
-            seed=None,
-        ),
+    return ConverterSpec(
+        resolution_bits=resolution_bits,
         skew_jitter_rms_seconds=skew_jitter_rms_seconds,
+        dcde_static_error_seconds=dcde_static_error_seconds,
+        channel1_skew_seconds=channel1_skew_seconds,
+        full_scale=full_scale,
         seed=seed,
-    )
+    ).build(acquisition_bandwidth_hz)
+
+
+@dataclass(frozen=True)
+class ConverterSpec:
+    """Declarative, picklable description of the BIST acquisition converter.
+
+    :class:`BistCampaign` historically accepted an arbitrary
+    ``converter_factory`` callable; lambdas and closures cannot cross process
+    boundaries, so the parallel :class:`~repro.bist.runner.CampaignRunner`
+    needs a *value* that builds the converter instead.  A ``ConverterSpec``
+    captures the same knobs as :func:`default_converter` plus the channel-1
+    static gain/offset mismatch, and is itself the factory: calling it with
+    the acquisition bandwidth returns the :class:`~repro.adc.tiadc.BpTiadc`.
+
+    With the mismatch fields at zero the built converter is identical to the
+    one produced by :func:`default_converter` with the same arguments.
+    """
+
+    resolution_bits: int = 10
+    skew_jitter_rms_seconds: float = 3.0e-12
+    dcde_static_error_seconds: float = 0.0
+    channel1_skew_seconds: float = 0.0
+    channel1_gain_error: float = 0.0
+    channel1_offset: float = 0.0
+    full_scale: float = 3.0
+    seed: int | None = 99
+
+    def build(self, acquisition_bandwidth_hz: float) -> BpTiadc:
+        """Construct the converter for the given per-channel rate."""
+        return BpTiadc(
+            sample_rate=acquisition_bandwidth_hz,
+            dcde=DigitallyControlledDelayElement(
+                static_error_seconds=self.dcde_static_error_seconds
+            ),
+            channel0=AdcChannel(
+                quantizer=UniformQuantizer(self.resolution_bits, self.full_scale),
+                mismatch=ChannelMismatch(),
+                seed=None,
+            ),
+            channel1=AdcChannel(
+                quantizer=UniformQuantizer(self.resolution_bits, self.full_scale),
+                mismatch=ChannelMismatch(
+                    offset=self.channel1_offset,
+                    gain_error=self.channel1_gain_error,
+                    skew_seconds=self.channel1_skew_seconds,
+                ),
+                seed=None,
+            ),
+            skew_jitter_rms_seconds=self.skew_jitter_rms_seconds,
+            seed=self.seed,
+        )
+
+    def __call__(self, acquisition_bandwidth_hz: float) -> BpTiadc:
+        return self.build(acquisition_bandwidth_hz)
 
 
 @dataclass(frozen=True)
@@ -74,12 +134,18 @@ class CampaignScenario:
         Human-readable scenario label (defaults to the profile name).
     num_symbols:
         Optional explicit burst length in symbols.
+    converter:
+        Optional per-scenario converter specification; when set it overrides
+        the campaign-level converter factory, which lets a scenario grid
+        sweep acquisition-side faults (channel skew, DCDE error, gain/offset
+        mismatch) alongside transmitter-side ones.
     """
 
     profile: WaveformProfile | str
     impairments: ImpairmentConfig = field(default_factory=ImpairmentConfig)
     label: str | None = None
     num_symbols: int | None = None
+    converter: ConverterSpec | None = None
 
     def resolved_profile(self) -> WaveformProfile:
         """The profile object (resolving a name if necessary)."""
@@ -90,6 +156,107 @@ class CampaignScenario:
     def resolved_label(self) -> str:
         """The label shown in the campaign summary."""
         return self.label if self.label is not None else self.resolved_profile().name
+
+
+def scenario_bandwidth(profile: WaveformProfile, bist_config: BistConfig) -> float:
+    """Acquisition bandwidth used for a profile.
+
+    The configuration's bandwidth is used whenever it comfortably contains
+    the profile's occupied bandwidth; narrowband profiles scale the
+    acquisition down to keep the two-rate scheme meaningful.
+    """
+    nominal = bist_config.acquisition_bandwidth_hz
+    needed = 4.0 * profile.occupied_bandwidth_hz
+    return min(nominal, max(needed, 2.5 * profile.occupied_bandwidth_hz))
+
+
+def scenario_bist_config(
+    scenario: CampaignScenario,
+    base_config: BistConfig,
+    seed: int | None | type(...) = ...,
+) -> BistConfig:
+    """The per-scenario engine configuration derived from a campaign-level one.
+
+    The acquisition bandwidth adapts to the profile (see
+    :func:`scenario_bandwidth`) and the programmed DCDE delay is clamped so
+    the Kohlenberg reconstruction filter stays away from its poles for the
+    profile's carrier.  ``seed`` (when not left at the ``...`` sentinel)
+    overrides the base configuration's seed, which is how the runner applies
+    deterministic per-scenario seeding.
+    """
+    profile = scenario.resolved_profile()
+    bandwidth = scenario_bandwidth(profile, base_config)
+    clamped_delay = min(
+        base_config.programmed_delay_seconds,
+        0.35 / ((2.0 * profile.carrier_frequency_hz / bandwidth + 2.0) * bandwidth),
+    )
+    config = replace(
+        base_config,
+        acquisition_bandwidth_hz=bandwidth,
+        programmed_delay_seconds=clamped_delay,
+    )
+    if seed is not ...:
+        config = replace(config, seed=seed)
+    return config
+
+
+def execute_scenario(
+    scenario: CampaignScenario,
+    bist_config: BistConfig | None = None,
+    converter_factory=None,
+    seed: int | None | type(...) = ...,
+) -> BistReport:
+    """Run the complete BIST for one campaign scenario.
+
+    This is the (pure, picklable-argument) unit of work the campaign runner
+    distributes: it builds a fresh transmitter and converter for the
+    scenario, derives the per-scenario engine configuration and executes the
+    full acquisition/calibration/measurement loop.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to execute.
+    bist_config:
+        Campaign-level engine configuration (defaults to ``BistConfig()``).
+    converter_factory:
+        Callable ``(acquisition_bandwidth_hz) -> BpTiadc``; used when the
+        scenario carries no :class:`ConverterSpec` of its own.  Defaults to
+        a nominal :class:`ConverterSpec`.
+    seed:
+        Optional override of the run's randomness (the ``...`` sentinel keeps
+        the historical defaults).  The override reseeds the engine's
+        cost-function instants, the transmitter (symbols, noise, phase noise)
+        and — when the effective factory is a :class:`ConverterSpec` — the
+        converter's jitter realisation, each on a distinct derived stream;
+        an arbitrary factory callable is used as-is.
+    """
+    if not isinstance(scenario, CampaignScenario):
+        raise ValidationError("scenario must be a CampaignScenario")
+    base_config = bist_config if bist_config is not None else BistConfig()
+    profile = scenario.resolved_profile()
+    config = scenario_bist_config(scenario, base_config, seed=seed)
+    factory = scenario.converter
+    if factory is None:
+        factory = converter_factory if converter_factory is not None else ConverterSpec()
+    if seed is ... :
+        transmitter_config = TransmitterConfig.from_profile(profile, impairments=scenario.impairments)
+    else:
+        transmitter_seed = None if seed is None else (int(seed) + 0x5DEECE66) % (2**32)
+        transmitter_config = TransmitterConfig.from_profile(
+            profile, impairments=scenario.impairments, seed=transmitter_seed
+        )
+        if isinstance(factory, ConverterSpec):
+            converter_seed = None if seed is None else (int(seed) + 0x2545F491) % (2**32)
+            factory = replace(factory, seed=converter_seed)
+    transmitter = HomodyneTransmitter(transmitter_config)
+    converter = factory(config.acquisition_bandwidth_hz)
+    engine = TransmitterBist(transmitter, converter, profile=profile, config=config)
+    if scenario.num_symbols is not None:
+        burst = transmitter.transmit(num_symbols=scenario.num_symbols)
+    else:
+        burst = None
+    return engine.run(burst)
 
 
 @dataclass(frozen=True)
@@ -116,6 +283,10 @@ class CampaignResult:
         """Labels of the scenarios that failed."""
         return [label for label, report in self.entries if not report.passed]
 
+    def summary(self) -> CampaignSummary:
+        """Aggregate statistics (per-profile pass rates, margins, skew errors)."""
+        return CampaignSummary.from_entries(self.entries)
+
     def summary_table(self) -> str:
         """A fixed-width text table of the campaign outcome."""
         header = f"{'scenario':<32} {'verdict':<8} {'ACPR dB':>9} {'OBW MHz':>9} {'EVM %':>7}"
@@ -134,6 +305,10 @@ class CampaignResult:
 class BistCampaign:
     """Run the BIST across several waveform profiles / fault scenarios.
 
+    This is the stable, high-level facade; execution is delegated to
+    :class:`~repro.bist.runner.CampaignRunner`, which supports process-pool
+    parallelism and structured per-scenario error capture.
+
     Parameters
     ----------
     scenarios:
@@ -145,6 +320,11 @@ class BistCampaign:
     converter_factory:
         Callable ``(acquisition_bandwidth_hz) -> BpTiadc`` building the
         converter for each scenario; defaults to :func:`default_converter`.
+        Must be picklable (e.g. a :class:`ConverterSpec`) when running with
+        ``max_workers > 1``.
+    max_workers:
+        Default worker count for :meth:`run`; 1 executes serially in-process,
+        larger values fan scenarios out over a process pool.
     """
 
     def __init__(
@@ -152,6 +332,7 @@ class BistCampaign:
         scenarios,
         bist_config: BistConfig | None = None,
         converter_factory=None,
+        max_workers: int = 1,
     ) -> None:
         scenarios = tuple(scenarios)
         if not scenarios:
@@ -164,49 +345,30 @@ class BistCampaign:
         self._converter_factory = (
             converter_factory if converter_factory is not None else default_converter
         )
+        self._max_workers = max_workers
+
+    @property
+    def scenarios(self) -> tuple:
+        """The campaign's scenarios, in execution order."""
+        return self._scenarios
 
     def _scenario_bandwidth(self, profile: WaveformProfile) -> float:
-        """Acquisition bandwidth used for a profile.
+        """Acquisition bandwidth used for a profile (see :func:`scenario_bandwidth`)."""
+        return scenario_bandwidth(profile, self._bist_config)
 
-        The default configuration's bandwidth is used whenever it comfortably
-        contains the profile's occupied bandwidth; narrowband profiles scale
-        the acquisition down to keep the two-rate scheme meaningful.
+    def run(self, max_workers: int | None = None) -> CampaignResult:
+        """Execute every scenario and aggregate the reports.
+
+        Raises :class:`~repro.errors.CampaignExecutionError` if any scenario
+        raised instead of producing a report; use
+        :meth:`~repro.bist.runner.CampaignRunner.run` directly for structured
+        per-scenario error capture.
         """
-        nominal = self._bist_config.acquisition_bandwidth_hz
-        needed = 4.0 * profile.occupied_bandwidth_hz
-        return min(nominal, max(needed, 2.5 * profile.occupied_bandwidth_hz))
+        from .runner import CampaignRunner
 
-    def run(self) -> CampaignResult:
-        """Execute every scenario and aggregate the reports."""
-        entries = []
-        for scenario in self._scenarios:
-            profile = scenario.resolved_profile()
-            bandwidth = self._scenario_bandwidth(profile)
-            config = BistConfig(
-                acquisition_bandwidth_hz=bandwidth,
-                num_samples_fast=self._bist_config.num_samples_fast,
-                num_samples_slow=self._bist_config.num_samples_slow,
-                programmed_delay_seconds=min(
-                    self._bist_config.programmed_delay_seconds,
-                    0.35 / ((2.0 * profile.carrier_frequency_hz / bandwidth + 2.0) * bandwidth),
-                ),
-                num_taps=self._bist_config.num_taps,
-                lms_initial_step_seconds=self._bist_config.lms_initial_step_seconds,
-                lms_max_iterations=self._bist_config.lms_max_iterations,
-                num_cost_points=self._bist_config.num_cost_points,
-                correct_static_mismatch=self._bist_config.correct_static_mismatch,
-                measure_evm_enabled=self._bist_config.measure_evm_enabled,
-                seed=self._bist_config.seed,
-            )
-            transmitter = HomodyneTransmitter(
-                TransmitterConfig.from_profile(profile, impairments=scenario.impairments)
-            )
-            converter = self._converter_factory(bandwidth)
-            engine = TransmitterBist(transmitter, converter, profile=profile, config=config)
-            if scenario.num_symbols is not None:
-                burst = transmitter.transmit(num_symbols=scenario.num_symbols)
-            else:
-                burst = None
-            report = engine.run(burst)
-            entries.append((scenario.resolved_label(), report))
-        return CampaignResult(entries=tuple(entries))
+        runner = CampaignRunner(
+            bist_config=self._bist_config,
+            converter_factory=self._converter_factory,
+            max_workers=self._max_workers if max_workers is None else max_workers,
+        )
+        return runner.run(self._scenarios).to_result()

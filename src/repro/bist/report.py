@@ -16,7 +16,14 @@ from ..errors import ValidationError
 from .masks import MaskCheckResult
 from .measurements import TxMeasurements
 
-__all__ = ["Verdict", "CheckResult", "SkewCalibrationReport", "BistReport"]
+__all__ = [
+    "Verdict",
+    "CheckResult",
+    "SkewCalibrationReport",
+    "BistReport",
+    "ProfileSummary",
+    "CampaignSummary",
+]
 
 
 class Verdict(str, Enum):
@@ -204,4 +211,212 @@ class BistReport:
                 }
                 for check in self.checks
             },
+        }
+
+
+def _check_margin(report: BistReport, name: str) -> float | None:
+    """Pass margin of one check (positive = headroom, negative = violation).
+
+    For limit-bounded checks (ACPR, OBW, EVM) the margin is ``limit -
+    measured``; the spectral-mask check already *measures* its worst margin,
+    so that value is used directly.  Skipped or absent checks yield ``None``.
+    """
+    try:
+        check = report.check(name)
+    except ValidationError:
+        return None
+    if check.verdict is Verdict.SKIPPED or check.measured is None:
+        return None
+    if name == "spectral_mask":
+        return float(check.measured)
+    if check.limit is None:
+        return None
+    return float(check.limit - check.measured)
+
+
+def _stats(values: list) -> tuple:
+    """``(mean, worst_min, worst_max)`` of a possibly-empty value list."""
+    if not values:
+        return None, None, None
+    return (
+        float(sum(values) / len(values)),
+        float(min(values)),
+        float(max(values)),
+    )
+
+
+@dataclass(frozen=True)
+class ProfileSummary:
+    """Aggregated campaign statistics for one waveform profile.
+
+    Margins follow the convention "positive = headroom to the limit"; the
+    worst (smallest) margin over the profile's scenarios is retained.
+    ``None`` values mean the underlying check never ran for this profile.
+    """
+
+    profile_name: str
+    num_scenarios: int
+    num_passed: int
+    worst_acpr_margin_db: float | None
+    worst_obw_margin_hz: float | None
+    worst_evm_margin_percent: float | None
+    worst_mask_margin_db: float | None
+    mean_skew_error_ps: float | None
+    max_skew_error_ps: float | None
+
+    @property
+    def pass_rate(self) -> float:
+        """Fraction of the profile's scenarios that passed."""
+        return self.num_passed / self.num_scenarios
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregate statistics of a campaign: pass rates, margins, skew errors.
+
+    Built from ``(label, report)`` entries (plus optional ``(label, error)``
+    pairs for scenarios that raised) by :meth:`from_entries`; exposed through
+    :meth:`CampaignResult.summary` and
+    :meth:`~repro.bist.runner.CampaignExecution.summary`.
+    """
+
+    num_scenarios: int
+    num_passed: int
+    num_failed: int
+    num_errors: int
+    profiles: tuple
+    errors: tuple = ()
+    mean_skew_error_ps: float | None = None
+    max_skew_error_ps: float | None = None
+
+    @classmethod
+    def from_entries(cls, entries, errors=()) -> "CampaignSummary":
+        """Aggregate ``(label, report)`` pairs and ``(label, error)`` pairs."""
+        entries = list(entries)
+        errors = tuple((str(label), str(message)) for label, message in errors)
+        if not entries and not errors:
+            raise ValidationError("a campaign summary needs at least one entry or error")
+        by_profile: dict[str, list[BistReport]] = {}
+        for _, report in entries:
+            by_profile.setdefault(report.profile_name, []).append(report)
+
+        profiles = []
+        all_skew_errors: list[float] = []
+        for profile_name, reports in by_profile.items():
+            margins = {
+                name: [
+                    margin
+                    for report in reports
+                    if (margin := _check_margin(report, name)) is not None
+                ]
+                for name in ("acpr", "occupied_bandwidth", "evm", "spectral_mask")
+            }
+            skew_errors = [
+                report.calibration.estimation_error_seconds * 1e12
+                for report in reports
+                if report.calibration.estimation_error_seconds is not None
+            ]
+            all_skew_errors.extend(skew_errors)
+            mean_skew, _, max_skew = _stats(skew_errors)
+            profiles.append(
+                ProfileSummary(
+                    profile_name=profile_name,
+                    num_scenarios=len(reports),
+                    num_passed=sum(report.passed for report in reports),
+                    worst_acpr_margin_db=_stats(margins["acpr"])[1],
+                    worst_obw_margin_hz=_stats(margins["occupied_bandwidth"])[1],
+                    worst_evm_margin_percent=_stats(margins["evm"])[1],
+                    worst_mask_margin_db=_stats(margins["spectral_mask"])[1],
+                    mean_skew_error_ps=mean_skew,
+                    max_skew_error_ps=max_skew,
+                )
+            )
+        mean_skew, _, max_skew = _stats(all_skew_errors)
+        num_passed = sum(report.passed for _, report in entries)
+        return cls(
+            num_scenarios=len(entries) + len(errors),
+            num_passed=num_passed,
+            num_failed=len(entries) - num_passed,
+            num_errors=len(errors),
+            profiles=tuple(profiles),
+            errors=errors,
+            mean_skew_error_ps=mean_skew,
+            max_skew_error_ps=max_skew,
+        )
+
+    @property
+    def pass_rate(self) -> float:
+        """Fraction of all scenarios (including errored ones) that passed."""
+        return self.num_passed / self.num_scenarios
+
+    def profile(self, profile_name: str) -> ProfileSummary:
+        """Look up the per-profile statistics by profile name."""
+        for summary in self.profiles:
+            if summary.profile_name == profile_name:
+                return summary
+        raise ValidationError(f"no profile named {profile_name!r} in this summary")
+
+    def to_text(self) -> str:
+        """Render the summary as a fixed-width text block."""
+
+        def fmt(value: float | None, scale: float = 1.0) -> str:
+            return "n/a" if value is None else f"{value * scale:.2f}"
+
+        lines = [
+            (
+                f"campaign summary: {self.num_scenarios} scenarios, "
+                f"{self.num_passed} passed, {self.num_failed} failed, "
+                f"{self.num_errors} errored (pass rate {self.pass_rate * 100.0:.1f}%)"
+            )
+        ]
+        header = (
+            f"{'profile':<24} {'n':>3} {'pass':>4} {'rate%':>6} "
+            f"{'ACPR dB':>8} {'OBW MHz':>8} {'EVM %':>6} {'mask dB':>8} {'skew ps':>8}"
+        )
+        lines += [header, "-" * len(header), ]
+        for profile in self.profiles:
+            lines.append(
+                f"{profile.profile_name:<24} {profile.num_scenarios:>3} "
+                f"{profile.num_passed:>4} {profile.pass_rate * 100.0:>6.1f} "
+                f"{fmt(profile.worst_acpr_margin_db):>8} "
+                f"{fmt(profile.worst_obw_margin_hz, 1e-6):>8} "
+                f"{fmt(profile.worst_evm_margin_percent):>6} "
+                f"{fmt(profile.worst_mask_margin_db):>8} "
+                f"{fmt(profile.max_skew_error_ps):>8}"
+            )
+        lines.append("(margins are worst-case headroom to the limit; negative = violation)")
+        if self.max_skew_error_ps is not None:
+            lines.append(
+                f"skew estimate error: mean {self.mean_skew_error_ps:.3f} ps, "
+                f"max {self.max_skew_error_ps:.3f} ps"
+            )
+        for label, error in self.errors:
+            lines.append(f"ERROR {label}: {error}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Render the summary as a plain dictionary (JSON-friendly)."""
+        return {
+            "num_scenarios": self.num_scenarios,
+            "num_passed": self.num_passed,
+            "num_failed": self.num_failed,
+            "num_errors": self.num_errors,
+            "pass_rate": self.pass_rate,
+            "mean_skew_error_ps": self.mean_skew_error_ps,
+            "max_skew_error_ps": self.max_skew_error_ps,
+            "profiles": {
+                profile.profile_name: {
+                    "num_scenarios": profile.num_scenarios,
+                    "num_passed": profile.num_passed,
+                    "pass_rate": profile.pass_rate,
+                    "worst_acpr_margin_db": profile.worst_acpr_margin_db,
+                    "worst_obw_margin_hz": profile.worst_obw_margin_hz,
+                    "worst_evm_margin_percent": profile.worst_evm_margin_percent,
+                    "worst_mask_margin_db": profile.worst_mask_margin_db,
+                    "mean_skew_error_ps": profile.mean_skew_error_ps,
+                    "max_skew_error_ps": profile.max_skew_error_ps,
+                }
+                for profile in self.profiles
+            },
+            "errors": [{"label": label, "error": error} for label, error in self.errors],
         }

@@ -1,0 +1,610 @@
+"""Parallel campaign orchestration: runner, scenario grids, outcomes.
+
+The paper's BIST is valuable because the *same* hardware and DSP verify the
+transmitter under every waveform the SDR supports — which in practice means
+campaigns with dozens to hundreds of profile × fault scenarios.  Scenarios
+are embarrassingly parallel (each one builds its own transmitter, converter
+and engine), so this module provides:
+
+* :class:`CampaignRunner` — executes scenarios concurrently on a
+  ``concurrent.futures`` process pool (serially in-process for
+  ``max_workers=1``) with deterministic per-scenario seeding and structured
+  error capture, so a single failing scenario no longer aborts the campaign;
+* :class:`ScenarioGrid` — expands cartesian products of waveform profiles ×
+  transmitter impairments × converter faults into scenario lists;
+* :class:`ScenarioOutcome` / :class:`CampaignExecution` — structured results
+  (report or error per scenario, wall-clock, worker identity) that aggregate
+  into the classic :class:`~repro.bist.campaign.CampaignResult` and the
+  statistical :class:`~repro.bist.report.CampaignSummary`.
+
+Determinism contract: the worker rebuilds everything from the picklable
+scenario description, so serial and parallel execution produce bit-identical
+reports for the same scenarios, configuration and seed policy.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import time
+import traceback
+import zlib
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+
+from ..errors import CampaignExecutionError, ConfigurationError, ValidationError
+from ..rf.amplifier import RappAmplifier
+from ..rf.impairments import DcOffset, IqImbalance
+from ..signals.standards import WaveformProfile
+from ..transmitter.config import ImpairmentConfig
+from .campaign import (
+    CampaignResult,
+    CampaignScenario,
+    ConverterSpec,
+    default_converter,
+    execute_scenario,
+)
+from .engine import BistConfig
+from .report import BistReport, CampaignSummary
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignExecution",
+    "ScenarioOutcome",
+    "ScenarioGrid",
+    "derive_scenario_seed",
+    "pa_saturation_sweep",
+    "iq_imbalance_sweep",
+    "dc_offset_sweep",
+    "skew_sweep",
+    "dcde_error_sweep",
+    "channel_mismatch_sweep",
+]
+
+#: Seed policies understood by :class:`CampaignRunner`.
+_SEED_POLICIES = ("shared", "per-scenario")
+
+
+def derive_scenario_seed(base_seed: int | None, index: int, label: str) -> int | None:
+    """Deterministic, decorrelated seed for scenario ``index`` / ``label``.
+
+    Stable across processes and Python invocations (it avoids the salted
+    built-in ``hash``), so parallel workers and the serial path derive the
+    same value.  ``None`` base seeds stay ``None`` (fully random scenarios).
+    """
+    if base_seed is None:
+        return None
+    digest = zlib.crc32(f"{index}:{label}".encode("utf-8"))
+    return (int(base_seed) * 0x9E3779B1 + digest) % (2**32)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Result of executing one scenario: a report, or a captured error.
+
+    Attributes
+    ----------
+    index:
+        Position of the scenario in the submitted sequence (outcomes are
+        always returned in submission order regardless of completion order).
+    label:
+        The scenario's resolved label.
+    report:
+        The BIST report, or ``None`` when the scenario raised.
+    error:
+        ``"ExceptionType: message"`` when the scenario raised, else ``None``.
+    traceback_text:
+        Full formatted traceback of the failure (``""`` on success).
+    duration_seconds:
+        Wall-clock execution time of this scenario.
+    worker:
+        Identifier of the process that executed the scenario.
+    """
+
+    index: int
+    label: str
+    report: BistReport | None = None
+    error: str | None = None
+    traceback_text: str = ""
+    duration_seconds: float = 0.0
+    worker: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario produced a report."""
+        return self.report is not None
+
+    def summary(self) -> str:
+        """One-line textual summary of the outcome."""
+        if self.ok:
+            return (
+                f"{self.label}: {self.report.verdict.value.upper()} "
+                f"({self.duration_seconds:.2f} s)"
+            )
+        return f"{self.label}: ERROR ({self.error})"
+
+
+@dataclass(frozen=True)
+class CampaignExecution:
+    """Structured result of a :class:`CampaignRunner` run.
+
+    Unlike :class:`~repro.bist.campaign.CampaignResult`, this keeps failed
+    scenarios (as error outcomes) alongside the successful reports.
+    """
+
+    outcomes: tuple
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ValidationError("a campaign execution needs at least one outcome")
+
+    @property
+    def entries(self) -> list[tuple]:
+        """``(label, report)`` pairs of the successful scenarios, in order."""
+        return [(outcome.label, outcome.report) for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def reports(self) -> list[BistReport]:
+        """Reports of the successful scenarios, in submission order."""
+        return [outcome.report for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def errors(self) -> list[tuple]:
+        """``(label, error)`` pairs of the scenarios that raised."""
+        return [
+            (outcome.label, outcome.error) for outcome in self.outcomes if not outcome.ok
+        ]
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every scenario produced a passing report."""
+        return not self.errors and all(report.passed for report in self.reports)
+
+    @property
+    def total_duration_seconds(self) -> float:
+        """Sum of the per-scenario wall clocks (the serial-equivalent cost)."""
+        return float(sum(outcome.duration_seconds for outcome in self.outcomes))
+
+    def to_result(self) -> CampaignResult:
+        """Convert to the classic :class:`CampaignResult`.
+
+        Raises :class:`~repro.errors.CampaignExecutionError` when any
+        scenario raised, since a ``CampaignResult`` cannot represent errors.
+        """
+        if self.errors:
+            details = "; ".join(f"{label}: {error}" for label, error in self.errors)
+            raise CampaignExecutionError(
+                f"{len(self.errors)} scenario(s) failed to execute: {details}"
+            )
+        return CampaignResult(entries=tuple(self.entries))
+
+    def summary(self) -> CampaignSummary:
+        """Aggregate statistics over reports and captured errors."""
+        return CampaignSummary.from_entries(self.entries, errors=self.errors)
+
+
+@dataclass(frozen=True)
+class _ScenarioTask:
+    """Picklable unit of work shipped to pool workers."""
+
+    index: int
+    label: str
+    scenario: CampaignScenario
+    bist_config: BistConfig
+    converter_factory: object
+    seed: int | None | type(...) = ...
+
+
+def _execute_task(task: _ScenarioTask) -> ScenarioOutcome:
+    """Worker entry point: run one scenario, never raise."""
+    start = time.perf_counter()
+    worker = f"pid-{os.getpid()}"
+    try:
+        report = execute_scenario(
+            task.scenario,
+            bist_config=task.bist_config,
+            converter_factory=task.converter_factory,
+            seed=task.seed,
+        )
+        return ScenarioOutcome(
+            index=task.index,
+            label=task.label,
+            report=report,
+            duration_seconds=time.perf_counter() - start,
+            worker=worker,
+        )
+    except Exception as exc:  # noqa: BLE001 - error isolation is the contract
+        return ScenarioOutcome(
+            index=task.index,
+            label=task.label,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback_text=traceback.format_exc(),
+            duration_seconds=time.perf_counter() - start,
+            worker=worker,
+        )
+
+
+class CampaignRunner:
+    """Execute campaign scenarios, optionally on a process pool.
+
+    Parameters
+    ----------
+    bist_config:
+        Campaign-level engine configuration (defaults to ``BistConfig()``).
+    converter_factory:
+        Callable ``(acquisition_bandwidth_hz) -> BpTiadc`` used for scenarios
+        without their own :class:`~repro.bist.campaign.ConverterSpec`.
+        Must be picklable for ``max_workers > 1`` — prefer a
+        ``ConverterSpec`` over a lambda.
+    max_workers:
+        1 (default) executes serially in-process; larger values distribute
+        scenarios over a ``ProcessPoolExecutor`` with that many workers.
+    seed_policy:
+        ``"shared"`` (default) runs every scenario with the configuration's
+        own seed — the historical behaviour; ``"per-scenario"`` derives a
+        deterministic, decorrelated seed per scenario with
+        :func:`derive_scenario_seed` and reseeds the cost-function instants,
+        the transmitter realisation and (for :class:`ConverterSpec`
+        factories) the converter jitter from it, so fault statistics are not
+        correlated through a common noise realisation.  An arbitrary factory
+        callable keeps its own internal seeding either way.  Both policies
+        are deterministic and produce identical results for serial and
+        parallel execution.
+    progress_callback:
+        Optional ``callable(ScenarioOutcome)`` invoked as each scenario
+        completes (completion order, which differs from submission order
+        under parallel execution).
+    """
+
+    def __init__(
+        self,
+        bist_config: BistConfig | None = None,
+        converter_factory=None,
+        max_workers: int = 1,
+        seed_policy: str = "shared",
+        progress_callback=None,
+    ) -> None:
+        if not isinstance(max_workers, int) or max_workers < 1:
+            raise ValidationError("max_workers must be a positive integer")
+        if seed_policy not in _SEED_POLICIES:
+            raise ValidationError(
+                f"seed_policy must be one of {_SEED_POLICIES}, got {seed_policy!r}"
+            )
+        self._bist_config = bist_config if bist_config is not None else BistConfig()
+        # The nominal ConverterSpec builds the same converter as
+        # default_converter but stays reseedable under "per-scenario".
+        self._converter_factory = (
+            converter_factory if converter_factory is not None else ConverterSpec()
+        )
+        self._max_workers = max_workers
+        self._seed_policy = seed_policy
+        self._progress_callback = progress_callback
+
+    @property
+    def max_workers(self) -> int:
+        """The configured worker count."""
+        return self._max_workers
+
+    def _build_tasks(self, scenarios) -> list[_ScenarioTask]:
+        scenarios = tuple(scenarios)
+        if not scenarios:
+            raise ValidationError("a campaign needs at least one scenario")
+        tasks = []
+        for index, scenario in enumerate(scenarios):
+            if not isinstance(scenario, CampaignScenario):
+                raise ValidationError("all scenarios must be CampaignScenario instances")
+            try:
+                label = scenario.resolved_label()
+            except ValidationError:
+                # An unresolvable profile name must surface as a per-scenario
+                # error outcome, not abort the whole campaign during set-up.
+                label = scenario.label if scenario.label is not None else str(scenario.profile)
+            if self._seed_policy == "per-scenario":
+                seed = derive_scenario_seed(self._bist_config.seed, index, label)
+            else:
+                seed = ...
+            tasks.append(
+                _ScenarioTask(
+                    index=index,
+                    label=label,
+                    scenario=scenario,
+                    bist_config=self._bist_config,
+                    converter_factory=self._converter_factory,
+                    seed=seed,
+                )
+            )
+        return tasks
+
+    def run(self, scenarios) -> CampaignExecution:
+        """Execute every scenario; errors are captured, not raised.
+
+        Returns a :class:`CampaignExecution` whose outcomes are in submission
+        order regardless of the order in which workers finished them.
+        """
+        tasks = self._build_tasks(scenarios)
+        if self._max_workers == 1 or len(tasks) == 1:
+            outcomes = self._run_serial(tasks)
+        else:
+            outcomes = self._run_parallel(tasks)
+        return CampaignExecution(outcomes=tuple(outcomes))
+
+    def _notify(self, outcome: ScenarioOutcome) -> None:
+        if self._progress_callback is not None:
+            self._progress_callback(outcome)
+
+    def _run_serial(self, tasks) -> list[ScenarioOutcome]:
+        outcomes = []
+        for task in tasks:
+            outcome = _execute_task(task)
+            self._notify(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _check_picklable(self, tasks) -> None:
+        for task in tasks:
+            try:
+                pickle.dumps(task)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"scenario {task.label!r} cannot be shipped to a worker process "
+                    f"({type(exc).__name__}: {exc}); use a picklable converter factory "
+                    "such as ConverterSpec instead of a lambda, or run with "
+                    "max_workers=1"
+                ) from exc
+
+    #: Pool rounds attempted when worker processes die (a dead worker fails
+    #: every outstanding future, so innocent scenarios deserve a fresh pool).
+    _MAX_POOL_ROUNDS = 2
+
+    def _run_parallel(self, tasks) -> list[ScenarioOutcome]:
+        self._check_picklable(tasks)
+        outcomes: dict[int, ScenarioOutcome] = {}
+        pending = list(tasks)
+        for _ in range(self._MAX_POOL_ROUNDS):
+            if not pending:
+                break
+            pending = self._pool_round(pending, outcomes)
+        for task in pending:
+            # Scenarios still unplaced after the retry rounds: the pool kept
+            # breaking around them (e.g. a scenario that OOM-kills its
+            # worker), so record them as errored rather than rerun forever.
+            outcome = ScenarioOutcome(
+                index=task.index,
+                label=task.label,
+                error=(
+                    "BrokenProcessPool: a worker process died while this scenario "
+                    f"was outstanding (after {self._MAX_POOL_ROUNDS} pool rounds)"
+                ),
+            )
+            self._notify(outcome)
+            outcomes[outcome.index] = outcome
+        return [outcomes[index] for index in sorted(outcomes)]
+
+    def _pool_round(self, tasks, outcomes) -> list:
+        """One process-pool pass; returns tasks lost to worker deaths."""
+        workers = min(self._max_workers, len(tasks))
+        broken = []
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_execute_task, task): task for task in tasks}
+            for future in concurrent.futures.as_completed(futures):
+                task = futures[future]
+                error = future.exception()
+                if error is None:
+                    outcome = future.result()
+                elif isinstance(error, BrokenProcessPool):
+                    # A worker died and the executor failed every outstanding
+                    # future; most of these scenarios never ran, so they get
+                    # another pool round instead of a spurious error.
+                    broken.append(task)
+                    continue
+                else:
+                    # The task itself could not be executed (e.g. it failed
+                    # to unpickle in the worker); synthesise an error outcome.
+                    outcome = ScenarioOutcome(
+                        index=task.index,
+                        label=task.label,
+                        error=f"{type(error).__name__}: {error}",
+                        traceback_text="".join(
+                            traceback.format_exception(type(error), error, error.__traceback__)
+                        ),
+                    )
+                self._notify(outcome)
+                outcomes[outcome.index] = outcome
+        return broken
+
+
+# --------------------------------------------------------------------------- #
+# Scenario grids
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Axis:
+    """One labelled grid axis value."""
+
+    label: str | None
+    value: object
+
+
+class ScenarioGrid:
+    """Cartesian scenario-list builder: profiles × impairments × converters.
+
+    A grid always has a profile axis; the impairment and converter axes are
+    optional (an empty axis contributes a single nominal point and no label
+    segment).  Scenario labels are ``profile[/impairment][/converter]``.
+
+    Example
+    -------
+    >>> grid = (
+    ...     ScenarioGrid()
+    ...     .add_profiles("paper-qpsk-1ghz", "uhf-8psk-400mhz")
+    ...     .add_impairment("nominal", ImpairmentConfig())
+    ...     .add_impairments(pa_saturation_sweep([0.75, 1.5]))
+    ...     .add_converters(skew_sweep([0.0, 2e-12]))
+    ... )
+    >>> len(grid)
+    12
+    """
+
+    def __init__(self, num_symbols: int | None = None) -> None:
+        self._profiles: list[_Axis] = []
+        self._impairments: list[_Axis] = []
+        self._converters: list[_Axis] = []
+        self._num_symbols = num_symbols
+
+    # -- profile axis ------------------------------------------------------ #
+    def add_profile(
+        self, profile: WaveformProfile | str, label: str | None = None
+    ) -> "ScenarioGrid":
+        """Append one waveform profile (name or object) to the profile axis."""
+        if not isinstance(profile, (str, WaveformProfile)):
+            raise ValidationError("profile must be a WaveformProfile or a profile name")
+        if label is None:
+            label = profile if isinstance(profile, str) else profile.name
+        self._profiles.append(_Axis(label=label, value=profile))
+        return self
+
+    def add_profiles(self, *profiles) -> "ScenarioGrid":
+        """Append several profiles at once."""
+        for profile in profiles:
+            self.add_profile(profile)
+        return self
+
+    # -- impairment axis --------------------------------------------------- #
+    def add_impairment(self, label: str, impairments: ImpairmentConfig) -> "ScenarioGrid":
+        """Append one labelled transmitter-impairment point."""
+        if not isinstance(impairments, ImpairmentConfig):
+            raise ValidationError("impairments must be an ImpairmentConfig")
+        self._impairments.append(_Axis(label=str(label), value=impairments))
+        return self
+
+    def add_impairments(self, items) -> "ScenarioGrid":
+        """Append several ``(label, ImpairmentConfig)`` pairs (or a mapping)."""
+        pairs = items.items() if hasattr(items, "items") else items
+        for label, impairments in pairs:
+            self.add_impairment(label, impairments)
+        return self
+
+    # -- converter axis ---------------------------------------------------- #
+    def add_converter(self, label: str, spec: ConverterSpec) -> "ScenarioGrid":
+        """Append one labelled converter-fault point."""
+        if not isinstance(spec, ConverterSpec):
+            raise ValidationError("spec must be a ConverterSpec")
+        self._converters.append(_Axis(label=str(label), value=spec))
+        return self
+
+    def add_converters(self, items) -> "ScenarioGrid":
+        """Append several ``(label, ConverterSpec)`` pairs (or a mapping)."""
+        pairs = items.items() if hasattr(items, "items") else items
+        for label, spec in pairs:
+            self.add_converter(label, spec)
+        return self
+
+    # -- expansion --------------------------------------------------------- #
+    def __len__(self) -> int:
+        return (
+            len(self._profiles)
+            * max(1, len(self._impairments))
+            * max(1, len(self._converters))
+        )
+
+    def build(self) -> tuple:
+        """Expand the grid into a tuple of :class:`CampaignScenario`."""
+        if not self._profiles:
+            raise ValidationError("a scenario grid needs at least one profile")
+        impairment_axis = self._impairments or [_Axis(label=None, value=ImpairmentConfig())]
+        converter_axis = self._converters or [_Axis(label=None, value=None)]
+        scenarios = []
+        labels = set()
+        for profile_point in self._profiles:
+            for impairment_point in impairment_axis:
+                for converter_point in converter_axis:
+                    parts = [profile_point.label]
+                    if impairment_point.label is not None:
+                        parts.append(impairment_point.label)
+                    if converter_point.label is not None:
+                        parts.append(converter_point.label)
+                    label = "/".join(parts)
+                    if label in labels:
+                        raise ValidationError(
+                            f"duplicate scenario label {label!r}; axis labels must be unique"
+                        )
+                    labels.add(label)
+                    scenarios.append(
+                        CampaignScenario(
+                            profile=profile_point.value,
+                            impairments=impairment_point.value,
+                            label=label,
+                            num_symbols=self._num_symbols,
+                            converter=converter_point.value,
+                        )
+                    )
+        return tuple(scenarios)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep helpers: labelled axis values for the common fault dimensions
+# --------------------------------------------------------------------------- #
+def pa_saturation_sweep(saturation_amplitudes, smoothness: float = 2.0) -> list[tuple]:
+    """PA-compression fault axis: Rapp amplifiers at decreasing headroom."""
+    return [
+        (
+            f"pa-sat-{amplitude:g}",
+            ImpairmentConfig().with_amplifier(
+                RappAmplifier(gain_db=0.0, saturation_amplitude=amplitude, smoothness=smoothness)
+            ),
+        )
+        for amplitude in saturation_amplitudes
+    ]
+
+
+def iq_imbalance_sweep(points) -> list[tuple]:
+    """IQ-imbalance fault axis from ``(gain_db, phase_deg)`` pairs."""
+    return [
+        (
+            f"iq-{gain_db:g}dB-{phase_deg:g}deg",
+            ImpairmentConfig(
+                iq_imbalance=IqImbalance(
+                    gain_imbalance_db=gain_db, phase_imbalance_deg=phase_deg
+                )
+            ),
+        )
+        for gain_db, phase_deg in points
+    ]
+
+
+def dc_offset_sweep(offsets) -> list[tuple]:
+    """LO-leakage fault axis: I-branch DC offsets."""
+    return [
+        (f"dc-{offset:g}", ImpairmentConfig(dc_offset=DcOffset(i_offset=offset)))
+        for offset in offsets
+    ]
+
+
+def skew_sweep(skews_seconds, base: ConverterSpec | None = None) -> list[tuple]:
+    """Converter fault axis: channel-1 static skew values."""
+    base = base if base is not None else ConverterSpec()
+    return [
+        (f"skew-{skew * 1e12:g}ps", replace(base, channel1_skew_seconds=skew))
+        for skew in skews_seconds
+    ]
+
+
+def dcde_error_sweep(errors_seconds, base: ConverterSpec | None = None) -> list[tuple]:
+    """Converter fault axis: DCDE static (programmed-vs-real) delay errors."""
+    base = base if base is not None else ConverterSpec()
+    return [
+        (f"dcde-{error * 1e12:g}ps", replace(base, dcde_static_error_seconds=error))
+        for error in errors_seconds
+    ]
+
+
+def channel_mismatch_sweep(points, base: ConverterSpec | None = None) -> list[tuple]:
+    """Converter fault axis: ``(gain_error, offset)`` static mismatch pairs."""
+    base = base if base is not None else ConverterSpec()
+    return [
+        (
+            f"mismatch-g{gain_error:g}-o{offset:g}",
+            replace(base, channel1_gain_error=gain_error, channel1_offset=offset),
+        )
+        for gain_error, offset in points
+    ]

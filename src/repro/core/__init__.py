@@ -8,9 +8,10 @@ focused subpackages.
 """
 
 from ..adc.tiadc import BpTiadc, DigitallyControlledDelayElement
-from ..bist.campaign import BistCampaign, CampaignScenario, default_converter
+from ..bist.campaign import BistCampaign, CampaignScenario, ConverterSpec, default_converter
 from ..bist.engine import BistConfig, TransmitterBist
-from ..bist.report import BistReport
+from ..bist.report import BistReport, CampaignSummary
+from ..bist.runner import CampaignRunner, ScenarioGrid
 from ..calibration.cost import SkewCostFunction
 from ..calibration.lms import LmsSkewEstimator
 from ..calibration.sine_fit import SineFitSkewEstimator
@@ -29,10 +30,14 @@ __all__ = [
     "DigitallyControlledDelayElement",
     "BistCampaign",
     "CampaignScenario",
+    "ConverterSpec",
     "default_converter",
     "BistConfig",
     "TransmitterBist",
     "BistReport",
+    "CampaignSummary",
+    "CampaignRunner",
+    "ScenarioGrid",
     "SkewCostFunction",
     "LmsSkewEstimator",
     "SineFitSkewEstimator",

@@ -22,6 +22,7 @@ __all__ = [
     "ConvergenceError",
     "MeasurementError",
     "MaskError",
+    "CampaignExecutionError",
 ]
 
 
@@ -76,3 +77,12 @@ class MeasurementError(ReproError):
 
 class MaskError(ReproError):
     """A spectral mask definition is invalid (e.g. unsorted breakpoints)."""
+
+
+class CampaignExecutionError(ReproError):
+    """One or more campaign scenarios raised instead of producing a report.
+
+    The runner isolates per-scenario failures into
+    :class:`~repro.bist.runner.ScenarioOutcome` records; this exception is
+    raised only by APIs that promise a complete :class:`CampaignResult`
+    (such as :meth:`~repro.bist.campaign.BistCampaign.run`)."""

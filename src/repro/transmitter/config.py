@@ -9,16 +9,49 @@ campaign can inject faults by swapping a single object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from ..errors import ConfigurationError
-from ..rf.amplifier import Amplifier, IdealAmplifier
+from ..rf.amplifier import (
+    Amplifier,
+    IdealAmplifier,
+    PolynomialAmplifier,
+    RappAmplifier,
+    SalehAmplifier,
+)
 from ..rf.impairments import DcOffset, IqImbalance
 from ..rf.oscillator import PhaseNoiseModel
 from ..signals.standards import WaveformProfile
 from ..utils.validation import check_integer, check_positive
 
 __all__ = ["ImpairmentConfig", "TransmitterConfig"]
+
+#: Amplifier dataclasses reconstructable from their serialized form.
+_AMPLIFIER_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (IdealAmplifier, RappAmplifier, SalehAmplifier, PolynomialAmplifier)
+}
+
+
+def _encode_dataclass(obj) -> dict:
+    """Field dict of a flat dataclass; complex values become [re, im] pairs."""
+    encoded = {}
+    for spec in fields(obj):
+        value = getattr(obj, spec.name)
+        if isinstance(value, complex):
+            value = [value.real, value.imag]
+        encoded[spec.name] = value
+    return encoded
+
+
+def _decode_dataclass(cls: type, data: dict):
+    """Rebuild a flat dataclass, turning [re, im] pairs back into complex."""
+    kwargs = {}
+    for key, value in data.items():
+        if isinstance(value, (list, tuple)) and len(value) == 2:
+            value = complex(value[0], value[1])
+        kwargs[key] = value
+    return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -55,6 +88,48 @@ class ImpairmentConfig:
     def with_amplifier(self, amplifier: Amplifier) -> "ImpairmentConfig":
         """Copy of this configuration with a different PA model."""
         return replace(self, amplifier=amplifier)
+
+    def to_dict(self) -> dict:
+        """Render as a plain JSON-friendly dictionary (see :meth:`from_dict`).
+
+        The amplifier is stored as ``{"type": class name, "params": fields}``
+        so any of the built-in behavioural PA models round-trips; complex
+        polynomial coefficients are stored as ``[real, imag]`` pairs.
+        """
+        amplifier = self.amplifier
+        if type(amplifier).__name__ not in _AMPLIFIER_TYPES:
+            raise ConfigurationError(
+                f"amplifier type {type(amplifier).__name__!r} is not serializable; "
+                f"known types: {sorted(_AMPLIFIER_TYPES)}"
+            )
+        return {
+            "amplifier": {
+                "type": type(amplifier).__name__,
+                "params": _encode_dataclass(amplifier),
+            },
+            "iq_imbalance": _encode_dataclass(self.iq_imbalance),
+            "dc_offset": _encode_dataclass(self.dc_offset),
+            "phase_noise": _encode_dataclass(self.phase_noise),
+            "output_snr_db": self.output_snr_db,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ImpairmentConfig":
+        """Rebuild a configuration serialized with :meth:`to_dict`."""
+        amplifier_data = data.get("amplifier", {"type": "IdealAmplifier", "params": {"gain_db": 0.0}})
+        type_name = amplifier_data.get("type")
+        if type_name not in _AMPLIFIER_TYPES:
+            raise ConfigurationError(
+                f"unknown amplifier type {type_name!r}; known types: "
+                f"{sorted(_AMPLIFIER_TYPES)}"
+            )
+        return cls(
+            amplifier=_decode_dataclass(_AMPLIFIER_TYPES[type_name], amplifier_data.get("params", {})),
+            iq_imbalance=_decode_dataclass(IqImbalance, data.get("iq_imbalance", {})),
+            dc_offset=_decode_dataclass(DcOffset, data.get("dc_offset", {})),
+            phase_noise=_decode_dataclass(PhaseNoiseModel, data.get("phase_noise", {})),
+            output_snr_db=data.get("output_snr_db"),
+        )
 
 
 @dataclass(frozen=True)
@@ -149,3 +224,26 @@ class TransmitterConfig:
             impairments=impairments if impairments is not None else ImpairmentConfig(),
             seed=seed,
         )
+
+    def to_dict(self) -> dict:
+        """Render as a plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {
+            "carrier_frequency_hz": self.carrier_frequency_hz,
+            "symbol_rate_hz": self.symbol_rate_hz,
+            "modulation": self.modulation,
+            "rolloff": self.rolloff,
+            "samples_per_symbol": self.samples_per_symbol,
+            "pulse_span_symbols": self.pulse_span_symbols,
+            "output_power": self.output_power,
+            "impairments": self.impairments.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransmitterConfig":
+        """Rebuild a configuration serialized with :meth:`to_dict`."""
+        kwargs = dict(data)
+        impairments = kwargs.pop("impairments", None)
+        if impairments is not None:
+            kwargs["impairments"] = ImpairmentConfig.from_dict(impairments)
+        return cls(**kwargs)

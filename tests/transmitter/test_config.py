@@ -1,9 +1,12 @@
 """Tests for repro.transmitter.config."""
 
+import json
+import pickle
+
 import pytest
 
 from repro.errors import ConfigurationError, ReproError
-from repro.rf import IqImbalance, RappAmplifier
+from repro.rf import DcOffset, IqImbalance, PolynomialAmplifier, RappAmplifier
 from repro.signals import get_profile
 from repro.transmitter import ImpairmentConfig, TransmitterConfig
 
@@ -63,3 +66,49 @@ class TestTransmitterConfig:
     def test_invalid_samples_per_symbol(self):
         with pytest.raises(ReproError):
             TransmitterConfig(samples_per_symbol=1)
+
+
+class TestSerialization:
+    def test_impairment_json_roundtrip(self):
+        config = ImpairmentConfig(
+            amplifier=RappAmplifier(gain_db=0.0, saturation_amplitude=0.75, smoothness=1.2),
+            iq_imbalance=IqImbalance(gain_imbalance_db=2.5, phase_imbalance_deg=15.0),
+            dc_offset=DcOffset(i_offset=0.05),
+            output_snr_db=30.0,
+        )
+        restored = ImpairmentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_complex_amplifier_coefficients_roundtrip(self):
+        config = ImpairmentConfig(amplifier=PolynomialAmplifier(a3=-0.5 + 0.05j))
+        restored = ImpairmentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored.amplifier.a3 == config.amplifier.a3
+        assert restored == config
+
+    def test_unknown_amplifier_type_rejected(self):
+        payload = ImpairmentConfig().to_dict()
+        payload["amplifier"]["type"] = "FluxCapacitorAmplifier"
+        with pytest.raises(ConfigurationError):
+            ImpairmentConfig.from_dict(payload)
+
+    def test_missing_amplifier_type_rejected(self):
+        payload = ImpairmentConfig().to_dict()
+        del payload["amplifier"]["type"]
+        with pytest.raises(ConfigurationError):
+            ImpairmentConfig.from_dict(payload)
+
+    def test_transmitter_config_json_roundtrip(self):
+        config = TransmitterConfig.from_profile(
+            get_profile("uhf-8psk-400mhz"),
+            impairments=ImpairmentConfig(iq_imbalance=IqImbalance(gain_imbalance_db=1.0)),
+            seed=7,
+        )
+        restored = TransmitterConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+        assert restored.envelope_sample_rate == pytest.approx(config.envelope_sample_rate)
+
+    def test_transmitter_config_picklable(self):
+        config = TransmitterConfig.paper_default(
+            impairments=ImpairmentConfig().with_amplifier(RappAmplifier(saturation_amplitude=0.6))
+        )
+        assert pickle.loads(pickle.dumps(config)) == config
