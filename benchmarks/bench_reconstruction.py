@@ -1,0 +1,343 @@
+"""Reconstruction hot-path benchmark: plan-based vs pre-refactor reference.
+
+Times the three tiers of the Eq. (6)/Eq. (8) hot path and emits a JSON
+document so the performance trajectory accumulates across PRs:
+
+* ``single_eval`` — one reconstruction over the cost-function grid:
+  :func:`repro.sampling.reference_evaluate` (the pre-plan implementation,
+  kept verbatim as the oracle) vs :meth:`ReconstructionPlan.evaluate`;
+* ``sweep`` — the Fig. 5 cost sweep: a per-candidate scalar loop over the
+  reference path vs the vectorised :meth:`SkewCostFunction.sweep`;
+* ``lms`` — a full Algorithm 1 skew estimation through the reference cost
+  vs the batched plan-backed estimator;
+* ``full_bist`` — ``TransmitterBist.run`` with the plan layer vs the same
+  engine with every plan evaluation routed through the reference path.
+
+Every comparison also records the worst relative deviation between the two
+paths; the script exits non-zero if it exceeds ``--tolerance`` (1e-9).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_reconstruction.py [--smoke] \
+        [--output bench_reconstruction.json]
+
+This file is a standalone script (not collected by pytest) so that CI can run
+the smoke variant and archive the JSON artifact per commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.bist import BistConfig, TransmitterBist
+from repro.calibration import LmsSkewEstimator, SkewCostFunction
+from repro.sampling import BandpassBand, IdealNonuniformSampler, reference_evaluate
+from repro.sampling.reconstruction import ReconstructionPlan
+from repro.signals import multitone_in_band
+from repro.transmitter import HomodyneTransmitter, TransmitterConfig
+
+CARRIER_HZ = 1.0e9
+BANDWIDTH_HZ = 90.0e6
+TRUE_DELAY_S = 180.0e-12
+NUM_TAPS = 60
+
+
+class _ReferenceSkewCost(SkewCostFunction):
+    """The Eq. (8) cost evaluated through the pre-refactor reconstruction path.
+
+    Used as the "before" baseline: every candidate rebuilds the tap indexing,
+    gathering, taper and kernel trigonometry, exactly like the pre-plan code.
+    Overriding the two reconstruct hooks is sufficient — the base class
+    detects the overrides and routes __call__, evaluate_many and sweep
+    through them (as a per-candidate scalar loop).
+    """
+
+    def reconstruct_fast(self, candidate_delay):
+        return reference_evaluate(
+            self.sample_set_fast,
+            self.evaluation_times,
+            assumed_delay=candidate_delay,
+            num_taps=self.num_taps,
+            window=self.window,
+            kaiser_beta=self.kaiser_beta,
+        )
+
+    def reconstruct_slow(self, candidate_delay):
+        return reference_evaluate(
+            self.sample_set_slow,
+            self.evaluation_times,
+            assumed_delay=candidate_delay,
+            num_taps=self.num_taps,
+            window=self.window,
+            kaiser_beta=self.kaiser_beta,
+        )
+
+@contextmanager
+def reference_plan_path():
+    """Route every ReconstructionPlan evaluation through the reference path.
+
+    Approximates the pre-refactor engine: the orchestration stays identical,
+    but each evaluation redoes the full delay-independent work per call.
+    """
+    original_evaluate = ReconstructionPlan.evaluate
+    original_many = ReconstructionPlan.evaluate_many
+
+    def evaluate(self, assumed_delay, validate=True):
+        return reference_evaluate(
+            self.sample_set,
+            self.evaluation_times,
+            assumed_delay=assumed_delay,
+            num_taps=self.num_taps,
+            window=self.window,
+            kaiser_beta=self.kaiser_beta,
+        )
+
+    def evaluate_many(self, assumed_delays, validate=True):
+        delays = np.atleast_1d(np.asarray(assumed_delays, dtype=float))
+        return np.stack([evaluate(self, delay) for delay in delays])
+
+    ReconstructionPlan.evaluate = evaluate
+    ReconstructionPlan.evaluate_many = evaluate_many
+    try:
+        yield
+    finally:
+        ReconstructionPlan.evaluate = original_evaluate
+        ReconstructionPlan.evaluate_many = original_many
+
+
+def best_of(callable_, repeats: int) -> float:
+    """Best-of-N wall-clock seconds of one call."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def relative_deviation(candidate: np.ndarray, oracle: np.ndarray) -> float:
+    """Worst |candidate - oracle| relative to the oracle's full scale."""
+    scale = float(np.max(np.abs(oracle)))
+    if scale == 0.0:
+        return float(np.max(np.abs(candidate)))
+    return float(np.max(np.abs(candidate - oracle)) / scale)
+
+
+def build_acquisitions(num_samples_fast: int):
+    """Ideal two-rate acquisitions of a deterministic in-band multitone."""
+    band = BandpassBand.from_centre(CARRIER_HZ, BANDWIDTH_HZ)
+    signal = multitone_in_band(
+        CARRIER_HZ - 7.5e6, CARRIER_HZ + 7.5e6, num_tones=9, amplitude=0.3, seed=20140324
+    )
+    fast = IdealNonuniformSampler(band, delay=TRUE_DELAY_S, sample_rate=BANDWIDTH_HZ).acquire(
+        signal, num_samples=num_samples_fast
+    )
+    slow = IdealNonuniformSampler(
+        band, delay=TRUE_DELAY_S, sample_rate=BANDWIDTH_HZ / 2.0
+    ).acquire(signal, num_samples=num_samples_fast // 2)
+    return fast, slow
+
+
+def bench_single_eval(fast_set, cost_points: int, repeats: int) -> dict:
+    plan = ReconstructionPlan(fast_set, _cost_times(fast_set, cost_points), num_taps=NUM_TAPS)
+    times = plan.evaluation_times
+    build_s = best_of(
+        lambda: ReconstructionPlan(fast_set, times, num_taps=NUM_TAPS), repeats
+    )
+    reference_s = best_of(
+        lambda: reference_evaluate(fast_set, times, TRUE_DELAY_S, num_taps=NUM_TAPS), repeats
+    )
+    plan_s = best_of(lambda: plan.evaluate(TRUE_DELAY_S), repeats)
+    deviation = relative_deviation(
+        plan.evaluate(TRUE_DELAY_S),
+        reference_evaluate(fast_set, times, TRUE_DELAY_S, num_taps=NUM_TAPS),
+    )
+    return {
+        "num_times": int(times.size),
+        "plan_build_s": build_s,
+        "reference_s": reference_s,
+        "plan_s": plan_s,
+        "speedup": reference_s / plan_s,
+        "max_rel_deviation": deviation,
+    }
+
+
+def _cost_times(sample_set, cost_points: int) -> np.ndarray:
+    low, high = ReconstructionPlan(sample_set, [0.0], num_taps=NUM_TAPS).valid_time_range()
+    rng = np.random.default_rng(20140324)
+    return np.sort(rng.uniform(low, high, cost_points))
+
+
+def bench_sweep(fast_set, slow_set, cost_points: int, num_candidates: int, repeats: int) -> dict:
+    plan_cost = SkewCostFunction(
+        fast_set, slow_set, num_taps=NUM_TAPS, num_evaluation_points=cost_points, seed=20140324
+    )
+    reference_cost = _ReferenceSkewCost(
+        fast_set,
+        slow_set,
+        evaluation_times=plan_cost.evaluation_times,
+        num_taps=NUM_TAPS,
+    )
+    candidates = np.linspace(120e-12, 260e-12, num_candidates)
+    reference_s = best_of(lambda: reference_cost.sweep(candidates), repeats)
+    plan_s = best_of(lambda: plan_cost.sweep(candidates), repeats)
+    deviation = relative_deviation(plan_cost.sweep(candidates), reference_cost.sweep(candidates))
+    return {
+        "num_candidates": int(candidates.size),
+        "num_times": int(plan_cost.evaluation_times.size),
+        "reference_s": reference_s,
+        "plan_s": plan_s,
+        "speedup": reference_s / plan_s,
+        "max_rel_deviation_cost": deviation,
+    }
+
+
+def bench_lms(fast_set, slow_set, cost_points: int, repeats: int) -> dict:
+    plan_cost = SkewCostFunction(
+        fast_set, slow_set, num_taps=NUM_TAPS, num_evaluation_points=cost_points, seed=20140324
+    )
+    reference_cost = _ReferenceSkewCost(
+        fast_set,
+        slow_set,
+        evaluation_times=plan_cost.evaluation_times,
+        num_taps=NUM_TAPS,
+    )
+    plan_estimator = LmsSkewEstimator(plan_cost, initial_step_seconds=1e-12, max_iterations=60)
+    reference_estimator = LmsSkewEstimator(
+        reference_cost, initial_step_seconds=1e-12, max_iterations=60, batched=False
+    )
+    start = 50e-12
+    reference_s = best_of(lambda: reference_estimator.estimate(start), repeats)
+    plan_s = best_of(lambda: plan_estimator.estimate(start), repeats)
+    plan_result = plan_estimator.estimate(start)
+    reference_result = reference_estimator.estimate(start)
+    return {
+        "reference_s": reference_s,
+        "plan_s": plan_s,
+        "speedup": reference_s / plan_s,
+        "plan_estimate_ps": plan_result.estimate * 1e12,
+        "reference_estimate_ps": reference_result.estimate * 1e12,
+        "estimate_abs_difference_ps": abs(plan_result.estimate - reference_result.estimate) * 1e12,
+    }
+
+
+def bench_full_bist(smoke: bool, repeats: int) -> dict:
+    from repro.adc import AdcChannel, BpTiadc, DigitallyControlledDelayElement, UniformQuantizer
+
+    config = BistConfig(
+        num_samples_fast=128 if smoke else 400,
+        num_samples_slow=64 if smoke else 200,
+        num_cost_points=60 if smoke else 300,
+        lms_max_iterations=25 if smoke else 50,
+        measure_evm_enabled=not smoke,
+    )
+    transmitter = HomodyneTransmitter(TransmitterConfig.paper_default(seed=2014))
+
+    def make_bist() -> TransmitterBist:
+        # A fresh converter per run: the jitter generator is consumed by each
+        # acquisition, so rebuilding it from the same seed keeps every run —
+        # and in particular the reference-vs-plan report comparison — on
+        # bit-identical acquisitions.
+        converter = BpTiadc(
+            sample_rate=BANDWIDTH_HZ,
+            dcde=DigitallyControlledDelayElement(resolution_seconds=1e-13),
+            channel0=AdcChannel(quantizer=UniformQuantizer(10, 3.0), seed=2015),
+            channel1=AdcChannel(quantizer=UniformQuantizer(10, 3.0), seed=2016),
+            skew_jitter_rms_seconds=3.0e-12,
+            seed=2014,
+        )
+        return TransmitterBist(transmitter, converter, config=config)
+
+    burst = transmitter.transmit_for_duration(make_bist().required_burst_duration())
+    with reference_plan_path():
+        reference_s = best_of(lambda: make_bist().run(burst), repeats)
+        reference_report = make_bist().run(burst)
+    plan_s = best_of(lambda: make_bist().run(burst), repeats)
+    plan_report = make_bist().run(burst)
+    return {
+        "reference_s": reference_s,
+        "plan_s": plan_s,
+        "speedup": reference_s / plan_s,
+        "plan_estimated_delay_ps": plan_report.calibration.estimated_delay_seconds * 1e12,
+        "reference_estimated_delay_ps": reference_report.calibration.estimated_delay_seconds * 1e12,
+        "verdicts_match": [c.verdict for c in plan_report.checks]
+        == [c.verdict for c in reference_report.checks],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes / few repeats for CI")
+    parser.add_argument("--output", default="bench_reconstruction.json", help="JSON output path")
+    parser.add_argument("--repeats", type=int, default=None, help="best-of repeats per timing")
+    parser.add_argument(
+        "--tolerance", type=float, default=1e-9, help="max allowed plan-vs-reference deviation"
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 5)
+    cost_points = 120 if args.smoke else 300
+    num_candidates = 15 if args.smoke else 29
+    num_samples_fast = 240 if args.smoke else 360
+
+    fast_set, slow_set = build_acquisitions(num_samples_fast)
+    results = {
+        "meta": {
+            "mode": "smoke" if args.smoke else "full",
+            "repeats": repeats,
+            "num_taps": NUM_TAPS,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "single_eval": bench_single_eval(fast_set, cost_points, repeats),
+        "sweep": bench_sweep(fast_set, slow_set, cost_points, num_candidates, repeats),
+        "lms": bench_lms(fast_set, slow_set, cost_points, repeats),
+        "full_bist": bench_full_bist(args.smoke, max(1, repeats - 1)),
+    }
+
+    print(f"single eval : reference {results['single_eval']['reference_s'] * 1e3:8.2f} ms  "
+          f"plan {results['single_eval']['plan_s'] * 1e3:8.2f} ms  "
+          f"({results['single_eval']['speedup']:.1f}x, "
+          f"dev {results['single_eval']['max_rel_deviation']:.1e})")
+    print(f"cost sweep  : reference {results['sweep']['reference_s'] * 1e3:8.2f} ms  "
+          f"plan {results['sweep']['plan_s'] * 1e3:8.2f} ms  "
+          f"({results['sweep']['speedup']:.1f}x, "
+          f"dev {results['sweep']['max_rel_deviation_cost']:.1e})")
+    print(f"lms estimate: reference {results['lms']['reference_s'] * 1e3:8.2f} ms  "
+          f"plan {results['lms']['plan_s'] * 1e3:8.2f} ms  "
+          f"({results['lms']['speedup']:.1f}x)")
+    print(f"full bist   : reference {results['full_bist']['reference_s'] * 1e3:8.2f} ms  "
+          f"plan {results['full_bist']['plan_s'] * 1e3:8.2f} ms  "
+          f"({results['full_bist']['speedup']:.1f}x)")
+
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {args.output}")
+
+    deviation = max(
+        results["single_eval"]["max_rel_deviation"],
+        results["sweep"]["max_rel_deviation_cost"],
+    )
+    if deviation > args.tolerance:
+        print(
+            f"ERROR: plan deviates from the reference path by {deviation:.3e} "
+            f"(> {args.tolerance:.0e})",
+            file=sys.stderr,
+        )
+        return 1
+    if not results["full_bist"]["verdicts_match"]:
+        print("ERROR: plan-based BIST verdicts differ from the reference path", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

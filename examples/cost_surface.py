@@ -1,0 +1,111 @@
+"""Fig. 5 reproduction: the Eq. (8) cost surface over candidate delays.
+
+Acquires one in-band multitone twice (per-channel rates B = 90 MHz and
+B1 = 45 MHz, true delay D = 180 ps), then sweeps the reconstruction-
+disagreement cost over the whole search interval (0, m) through the
+vectorised ``SkewCostFunction.sweep`` — a single batched pass over the two
+precompiled reconstruction plans.  Prints the cost surface as an ASCII
+profile and reports where its minimum lands relative to the true delay.
+
+Run with:  PYTHONPATH=src python examples/cost_surface.py [--fast] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.calibration import SkewCostFunction
+from repro.sampling import BandpassBand, IdealNonuniformSampler
+from repro.signals import multitone_in_band
+
+CARRIER_HZ = 1.0e9
+BANDWIDTH_HZ = 90.0e6
+TRUE_DELAY_S = 180.0e-12
+
+
+def build_cost_function(num_cost_points: int) -> SkewCostFunction:
+    """The two-rate acquisition pair of Section IV at the paper's operating point."""
+    band = BandpassBand.from_centre(CARRIER_HZ, BANDWIDTH_HZ)
+    signal = multitone_in_band(
+        CARRIER_HZ - 7.5e6, CARRIER_HZ + 7.5e6, num_tones=9, amplitude=0.3, seed=20140324
+    )
+    fast = IdealNonuniformSampler(band, delay=TRUE_DELAY_S, sample_rate=BANDWIDTH_HZ).acquire(
+        signal, num_samples=360
+    )
+    slow = IdealNonuniformSampler(
+        band, delay=TRUE_DELAY_S, sample_rate=BANDWIDTH_HZ / 2.0
+    ).acquire(signal, num_samples=180)
+    return SkewCostFunction(fast, slow, num_evaluation_points=num_cost_points, seed=11)
+
+
+def ascii_profile(candidates_ps: np.ndarray, costs: np.ndarray, width: int = 56) -> str:
+    """Log-scaled bar per candidate — the deep notch at D_hat = D is Fig. 5."""
+    log_costs = np.log10(costs)
+    lo, hi = log_costs.min(), log_costs.max()
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for candidate_ps, cost, log_cost in zip(candidates_ps, costs, log_costs):
+        bar = "#" * max(1, int(round(width * (log_cost - lo) / span)))
+        lines.append(f"  {candidate_ps:7.1f} ps  {cost:10.3e}  {bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="Eq. (8) cost surface over candidate delays")
+    parser.add_argument("--fast", action="store_true", help="coarser sweep for smoke runs")
+    parser.add_argument("--candidates", type=int, default=None, help="number of candidate delays")
+    parser.add_argument("--points", type=int, default=None, help="cost evaluation instants N")
+    parser.add_argument("--json", default=None, help="also write the surface to this JSON path")
+    args = parser.parse_args()
+
+    num_candidates = args.candidates or (21 if args.fast else 97)
+    num_cost_points = args.points or (100 if args.fast else 300)
+
+    cost = build_cost_function(num_cost_points)
+    bound = cost.upper_bound
+    print(f"search interval for the delay estimate: (0, {bound * 1e12:.0f}) ps")
+
+    # Stay clear of the interval edges, where the kernel denominators vanish.
+    candidates = np.linspace(0.04 * bound, 0.96 * bound, num_candidates)
+    start = time.perf_counter()
+    costs = cost.sweep(candidates)
+    elapsed = time.perf_counter() - start
+    print(
+        f"swept {num_candidates} candidate delays x {num_cost_points} instants "
+        f"in {elapsed * 1e3:.1f} ms (vectorised evaluate_many)\n"
+    )
+
+    candidates_ps = candidates * 1e12
+    print("cost surface (log-scale bars; the notch is the Fig. 5 minimum):")
+    print(ascii_profile(candidates_ps, costs))
+
+    best = candidates[int(np.argmin(costs))]
+    step = candidates[1] - candidates[0]
+    print(
+        f"\nminimum at D_hat = {best * 1e12:.1f} ps "
+        f"(true D = {TRUE_DELAY_S * 1e12:.0f} ps, sweep step {step * 1e12:.1f} ps)"
+    )
+    assert abs(best - TRUE_DELAY_S) <= step, "cost minimum did not land at the true delay"
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                {
+                    "candidates_ps": candidates_ps.tolist(),
+                    "costs": costs.tolist(),
+                    "true_delay_ps": TRUE_DELAY_S * 1e12,
+                    "upper_bound_ps": bound * 1e12,
+                    "sweep_seconds": elapsed,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,7 @@ from .measurements import (
     measure_acpr,
     measure_evm,
     measure_occupied_bandwidth,
-    measure_spectrum,
+    measure_spectrum_from_samples,
     render_uniform,
 )
 from .report import BistReport, CheckResult, SkewCalibrationReport, Verdict
@@ -108,6 +108,12 @@ class BistConfig:
         check_integer(self.num_samples_slow, "num_samples_slow", minimum=64)
         check_positive(self.programmed_delay_seconds, "programmed_delay_seconds")
         check_integer(self.num_taps, "num_taps", minimum=2)
+        if self.num_taps % 2 != 0:
+            raise ConfigurationError(
+                f"num_taps (the kernel truncation nw) must be even — Eq. (6) places nw/2 "
+                f"sample pairs on each side of the evaluation instant, so the filter has "
+                f"nw + 1 taps — got {self.num_taps}; use {self.num_taps - 1} or {self.num_taps + 1}"
+            )
         check_positive(self.lms_initial_step_seconds, "lms_initial_step_seconds")
         check_integer(self.lms_max_iterations, "lms_max_iterations", minimum=1)
         check_integer(self.num_cost_points, "num_cost_points", minimum=10)
@@ -275,13 +281,22 @@ class TransmitterBist:
         return report, result.estimate
 
     def _measure(self, reconstructor: NonuniformReconstructor, burst: TransmissionResult) -> TxMeasurements:
-        """Derive the transmitter measurements from the calibrated reconstruction."""
+        """Derive the transmitter measurements from the calibrated reconstruction.
+
+        The reconstruction is rendered onto the dense measurement grid once;
+        the output power and the Welch spectrum are both computed from that
+        single render.  The EVM path needs a different grid rate and renders
+        it separately (through a throwaway plan — dense grids are
+        deliberately not cached).
+        """
         config = self._config
         profile = self._profile
         valid_low, valid_high = reconstructor.valid_time_range()
-        spectrum = measure_spectrum(reconstructor, valid_low, valid_high)
-        _, samples, _ = render_uniform(reconstructor, valid_low, valid_high)
+        _, samples, rate = render_uniform(reconstructor, valid_low, valid_high)
         output_power = float(np.mean(samples**2))
+        spectrum = measure_spectrum_from_samples(
+            samples, rate, bandwidth_hz=reconstructor.kernel.band.bandwidth
+        )
         acpr = measure_acpr(
             spectrum,
             channel_centre_hz=self._transmitter.carrier_frequency,

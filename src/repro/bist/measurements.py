@@ -37,6 +37,7 @@ __all__ = [
     "render_uniform",
     "reconstructed_envelope",
     "measure_spectrum",
+    "measure_spectrum_from_samples",
     "measure_acpr",
     "measure_occupied_bandwidth",
     "measure_evm",
@@ -66,6 +67,15 @@ def render_uniform(
     -------
     tuple
         ``(times, samples, sample_rate)``.
+
+    Notes
+    -----
+    The render evaluates through a precompiled
+    :class:`~repro.sampling.reconstruction.ReconstructionPlan`; the BIST
+    engine renders each dense grid once and shares the samples between the
+    output-power and spectrum measurements (see
+    :func:`measure_spectrum_from_samples`), so prefer reusing the returned
+    samples over calling this twice for the same interval.
     """
     if not isinstance(reconstructor, NonuniformReconstructor):
         raise ValidationError("reconstructor must be a NonuniformReconstructor")
@@ -144,12 +154,37 @@ def measure_spectrum(
     regardless of the dense rendering rate.
     """
     _, samples, rate = render_uniform(reconstructor, start_time, stop_time, sample_rate=dense_rate)
+    return measure_spectrum_from_samples(
+        samples,
+        rate,
+        bandwidth_hz=reconstructor.kernel.band.bandwidth,
+        segment_length=segment_length,
+        resolution_hz=resolution_hz,
+    )
+
+
+def measure_spectrum_from_samples(
+    samples: np.ndarray,
+    sample_rate: float,
+    bandwidth_hz: float,
+    segment_length: int | None = None,
+    resolution_hz: float | None = None,
+) -> SpectrumEstimate:
+    """Welch PSD of an already-rendered uniform waveform.
+
+    Split out of :func:`measure_spectrum` so callers that have rendered the
+    reconstruction once (the BIST engine shares a single dense render between
+    the output-power and spectrum measurements) do not pay for a second full
+    reconstruction pass.
+    """
+    samples = np.asarray(samples, dtype=float)
+    sample_rate = check_positive(sample_rate, "sample_rate")
     if segment_length is None:
         if resolution_hz is None:
-            resolution_hz = reconstructor.kernel.band.bandwidth / 256.0
-        segment_length = int(2 ** np.ceil(np.log2(rate / resolution_hz)))
+            resolution_hz = check_positive(bandwidth_hz, "bandwidth_hz") / 256.0
+        segment_length = int(2 ** np.ceil(np.log2(sample_rate / resolution_hz)))
     segment_length = min(int(segment_length), samples.size)
-    return welch_psd(samples, rate, segment_length=segment_length)
+    return welch_psd(samples, sample_rate, segment_length=segment_length)
 
 
 def measure_acpr(

@@ -25,9 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import CalibrationError, ValidationError
-from ..sampling.nonuniform import band_order
-from ..sampling.reconstruction import NonuniformReconstructor, NonuniformSampleSet
+from ..errors import CalibrationError, DelayConstraintError, ValidationError
+from ..sampling.nonuniform import band_order, check_delay
+from ..sampling.reconstruction import NonuniformSampleSet, ReconstructionPlan
 from ..utils.rng import SeedLike, ensure_generator
 from ..utils.validation import check_integer, check_positive
 
@@ -176,9 +176,20 @@ def default_evaluation_times(
     return np.sort(rng.uniform(low, high, size=num_points))
 
 
-@dataclass
+@dataclass(frozen=True)
 class SkewCostFunction:
     """Callable implementing Eq. (8): ``eps(D_hat)`` for a pair of acquisitions.
+
+    The configuration is compiled into one
+    :class:`~repro.sampling.reconstruction.ReconstructionPlan` per
+    acquisition at construction, so instances are frozen: mutating a field
+    after construction would silently diverge from the compiled plans.
+    :meth:`reconstruct_fast`/:meth:`reconstruct_slow` remain the extension
+    points: the scalar :meth:`__call__` dispatches through them, and the
+    batched :meth:`evaluate_many`/:meth:`sweep` path uses the compiled plans
+    only while both hooks are un-overridden, falling back to a scalar loop
+    over the overrides otherwise — so subclasses never get silently
+    inconsistent scalar-vs-batched costs.
 
     Parameters
     ----------
@@ -227,7 +238,7 @@ class SkewCostFunction:
                 "pick a different B1"
             )
         if self.evaluation_times is None:
-            self.evaluation_times = default_evaluation_times(
+            times = default_evaluation_times(
                 self.sample_set_fast,
                 self.sample_set_slow,
                 num_points=self.num_evaluation_points,
@@ -235,50 +246,145 @@ class SkewCostFunction:
                 seed=self.seed,
             )
         else:
-            self.evaluation_times = np.asarray(self.evaluation_times, dtype=float)
-            if self.evaluation_times.ndim != 1 or self.evaluation_times.size < 4:
+            times = np.asarray(self.evaluation_times, dtype=float)
+            if times.ndim != 1 or times.size < 4:
                 raise ValidationError("evaluation_times must be a 1-D array of at least 4 instants")
+        object.__setattr__(self, "evaluation_times", times)
+        # Both reconstructions run over the same fixed evaluation instants for
+        # every candidate delay, so the delay-independent work (tap indexing,
+        # sample gathering, taper, kernel trigonometry) is compiled into one
+        # plan per acquisition and shared across all cost evaluations.
+        object.__setattr__(
+            self,
+            "_plan_fast",
+            ReconstructionPlan(
+                self.sample_set_fast,
+                times,
+                num_taps=self.num_taps,
+                window=self.window,
+                kaiser_beta=self.kaiser_beta,
+            ),
+        )
+        object.__setattr__(
+            self,
+            "_plan_slow",
+            ReconstructionPlan(
+                self.sample_set_slow,
+                times,
+                num_taps=self.num_taps,
+                window=self.window,
+                kaiser_beta=self.kaiser_beta,
+            ),
+        )
 
     @property
     def upper_bound(self) -> float:
         """The search bound ``m`` for candidate delays."""
         return search_upper_bound(self.sample_set_fast, self.sample_set_slow)
 
+    @property
+    def plan_fast(self) -> ReconstructionPlan:
+        """The precompiled reconstruction plan of the fast acquisition."""
+        return self._plan_fast
+
+    @property
+    def plan_slow(self) -> ReconstructionPlan:
+        """The precompiled reconstruction plan of the slow acquisition."""
+        return self._plan_slow
+
     def reconstruct_fast(self, candidate_delay: float) -> np.ndarray:
         """Reconstruction from the fast acquisition using ``candidate_delay``."""
-        reconstructor = NonuniformReconstructor(
-            self.sample_set_fast,
-            assumed_delay=candidate_delay,
-            num_taps=self.num_taps,
-            window=self.window,
-            kaiser_beta=self.kaiser_beta,
-        )
-        return reconstructor.evaluate(self.evaluation_times)
+        return self._plan_fast.evaluate(candidate_delay)
 
     def reconstruct_slow(self, candidate_delay: float) -> np.ndarray:
         """Reconstruction from the slow acquisition using ``candidate_delay``."""
-        reconstructor = NonuniformReconstructor(
-            self.sample_set_slow,
-            assumed_delay=candidate_delay,
-            num_taps=self.num_taps,
-            window=self.window,
-            kaiser_beta=self.kaiser_beta,
-        )
-        return reconstructor.evaluate(self.evaluation_times)
+        return self._plan_slow.evaluate(candidate_delay)
 
     def __call__(self, candidate_delay: float) -> float:
-        """Evaluate Eq. (8) at ``candidate_delay``."""
+        """Evaluate Eq. (8) at ``candidate_delay``.
+
+        Dispatches through :meth:`reconstruct_fast`/:meth:`reconstruct_slow`
+        so subclasses overriding either reconstruction keep working.
+        """
+        self._check_candidate(candidate_delay)
+        fast = self.reconstruct_fast(candidate_delay)
+        slow = self.reconstruct_slow(candidate_delay)
+        return float(np.mean((fast - slow) ** 2))
+
+    def evaluate_many(self, candidate_delays, invalid: str = "raise") -> np.ndarray:
+        """Batched Eq. (8) over an array of candidate delays.
+
+        Both plans evaluate all candidates through one batched kernel pass,
+        amortising the delay-independent reconstruction state across the
+        whole sweep.
+
+        Parameters
+        ----------
+        candidate_delays:
+            1-D array of candidate delays (seconds).
+        invalid:
+            ``"raise"`` (default) propagates the same exception the scalar
+            call would raise at the first invalid candidate, preserving the
+            scan order; ``"inf"`` instead assigns ``numpy.inf`` to invalid
+            candidates (outside ``(0, m)`` or forbidden by Eq. 3), which is
+            what a line search wants so it can back away from them.
+        """
+        if invalid not in ("raise", "inf"):
+            raise ValidationError("invalid must be 'raise' or 'inf'")
+        delays = np.atleast_1d(np.asarray(candidate_delays, dtype=float))
+        if delays.ndim != 1:
+            raise ValidationError("candidate_delays must be a 1-D array")
+        usable = np.ones(delays.shape, dtype=bool)
+        for index, delay in enumerate(delays):
+            try:
+                self._check_candidate(delay)
+            except (ValidationError, CalibrationError, DelayConstraintError):
+                if invalid == "raise":
+                    raise
+                usable[index] = False
+        costs = np.full(delays.shape, np.inf)
+        if usable.any():
+            uses_plans = (
+                type(self).reconstruct_fast is SkewCostFunction.reconstruct_fast
+                and type(self).reconstruct_slow is SkewCostFunction.reconstruct_slow
+            )
+            if uses_plans:
+                fast = self._plan_fast.evaluate_many(delays[usable], validate=False)
+                slow = self._plan_slow.evaluate_many(delays[usable], validate=False)
+                costs[usable] = np.mean((fast - slow) ** 2, axis=1)
+            else:
+                # A subclass replaced one of the reconstruction hooks: honour
+                # it (at scalar-loop speed) rather than silently evaluating
+                # through the base plans.
+                costs[usable] = [
+                    float(np.mean((self.reconstruct_fast(d) - self.reconstruct_slow(d)) ** 2))
+                    for d in delays[usable]
+                ]
+        return costs
+
+    def sweep(self, candidate_delays) -> np.ndarray:
+        """Evaluate the cost over an array of candidate delays (Fig. 5 data).
+
+        Vectorised through :meth:`evaluate_many`: the whole sweep shares one
+        pass over each plan's cached state instead of rebuilding two
+        reconstructors per candidate.
+        """
+        return self.evaluate_many(candidate_delays, invalid="raise")
+
+    def _check_candidate(self, candidate_delay: float) -> float:
+        """Validate one candidate exactly as the pre-plan scalar path did.
+
+        Order matters for exception compatibility: non-positive values raise
+        :class:`ValidationError`, out-of-interval values
+        :class:`CalibrationError`, and Eq. (3)-forbidden values
+        :class:`DelayConstraintError` (fast band checked before slow).
+        """
         candidate_delay = check_positive(candidate_delay, "candidate_delay")
         if candidate_delay >= self.upper_bound:
             raise CalibrationError(
                 f"candidate delay {candidate_delay} s is outside the search interval "
                 f"(0, {self.upper_bound} s) where the cost function is defined"
             )
-        fast = self.reconstruct_fast(candidate_delay)
-        slow = self.reconstruct_slow(candidate_delay)
-        return float(np.mean((fast - slow) ** 2))
-
-    def sweep(self, candidate_delays) -> np.ndarray:
-        """Evaluate the cost over an array of candidate delays (Fig. 5 data)."""
-        candidate_delays = np.asarray(candidate_delays, dtype=float)
-        return np.array([self(delay) for delay in candidate_delays])
+        check_delay(self.sample_set_fast.band, candidate_delay)
+        check_delay(self.sample_set_slow.band, candidate_delay)
+        return candidate_delay

@@ -104,6 +104,14 @@ class LmsSkewEstimator:
     max_step_halvings:
         Safety bound on the number of consecutive step halvings within one
         iteration.
+    batched:
+        When ``True`` (default) the bootstrap probe and every line-search
+        step evaluate the forward and mirrored candidates together through
+        one :meth:`~repro.calibration.cost.SkewCostFunction.evaluate_many`
+        call, sharing a single batched pass over the precompiled
+        reconstruction plans.  The accepted iterate sequence is identical to
+        the sequential mode; only the evaluation batching (and therefore the
+        reported ``cost_evaluations``) differs.
     """
 
     cost_function: SkewCostFunction
@@ -112,6 +120,7 @@ class LmsSkewEstimator:
     cost_tolerance: float | None = None
     min_step_seconds: float = 1.0e-15
     max_step_halvings: int = 40
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.cost_function, SkewCostFunction):
@@ -155,6 +164,15 @@ class LmsSkewEstimator:
             except (CalibrationError, DelayConstraintError):
                 return float("inf")
 
+        def cost_pair(first: float, second: float) -> tuple[float, float]:
+            # Batched probe: both candidates share one pass over the
+            # precompiled reconstruction plans (invalid candidates come back
+            # as inf, matching the scalar path's exception handling).
+            nonlocal evaluations
+            evaluations += 2
+            pair = self.cost_function.evaluate_many([first, second], invalid="inf")
+            return float(pair[0]), float(pair[1])
+
         step = float(self.initial_step_seconds)
         previous_delay = float(initial_delay)
         previous_cost = cost(previous_delay)
@@ -169,13 +187,20 @@ class LmsSkewEstimator:
 
         history = [LmsIterate(iteration=0, estimate=previous_delay, cost=previous_cost, step_size=step)]
 
-        # Bootstrap the finite-difference gradient with a small probe move.
-        current_delay = self._clip(previous_delay + step, upper_bound)
-        current_cost = cost(current_delay)
-        if current_cost > previous_cost:
-            # Probe uphill: start in the other direction instead.
-            current_delay = self._clip(previous_delay - step, upper_bound)
-            current_cost = cost(current_delay)
+        # Bootstrap the finite-difference gradient with a small probe move;
+        # if the forward probe is uphill, start in the other direction.
+        forward = self._clip(previous_delay + step, upper_bound)
+        backward = self._clip(previous_delay - step, upper_bound)
+        if self.batched:
+            forward_cost, backward_cost = cost_pair(forward, backward)
+        else:
+            forward_cost = cost(forward)
+            backward_cost = None
+        if forward_cost > previous_cost:
+            current_delay = backward
+            current_cost = cost(backward) if backward_cost is None else backward_cost
+        else:
+            current_delay, current_cost = forward, forward_cost
         history.append(LmsIterate(iteration=1, estimate=current_delay, cost=current_cost, step_size=step))
 
         converged = False
@@ -201,11 +226,16 @@ class LmsSkewEstimator:
             halvings = 0
             while True:
                 candidate = self._clip(current_delay + direction * step, upper_bound)
-                candidate_cost = cost(candidate)
+                mirrored = self._clip(current_delay - direction * step, upper_bound)
+                if self.batched:
+                    candidate_cost, mirrored_cost = cost_pair(candidate, mirrored)
+                else:
+                    candidate_cost = cost(candidate)
+                    mirrored_cost = None
                 if candidate_cost <= current_cost or step <= self.min_step_seconds:
                     break
-                mirrored = self._clip(current_delay - direction * step, upper_bound)
-                mirrored_cost = cost(mirrored)
+                if mirrored_cost is None:
+                    mirrored_cost = cost(mirrored)
                 if mirrored_cost <= current_cost:
                     candidate, candidate_cost = mirrored, mirrored_cost
                     break

@@ -26,7 +26,9 @@ from .reconstruction import (
     IdealNonuniformSampler,
     NonuniformReconstructor,
     NonuniformSampleSet,
+    ReconstructionPlan,
     reconstruct,
+    reference_evaluate,
 )
 from .sensitivity import (
     delay_error_sweep,
@@ -57,7 +59,9 @@ __all__ = [
     "IdealNonuniformSampler",
     "NonuniformReconstructor",
     "NonuniformSampleSet",
+    "ReconstructionPlan",
     "reconstruct",
+    "reference_evaluate",
     "delay_error_sweep",
     "max_delay_error_for_relative_error",
     "paper_example_delay_requirement",

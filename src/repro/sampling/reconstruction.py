@@ -13,15 +13,28 @@ taps and a Kaiser window).  This module provides:
   impairments (the theory-level sampler used by unit tests and by the
   sensitivity analysis); the impaired hardware model lives in
   :mod:`repro.adc.tiadc`;
-* :class:`NonuniformReconstructor` — evaluates the truncated, windowed
-  Kohlenberg expansion at arbitrary time instants, for any *assumed* delay
-  ``D_hat`` (the assumed delay is deliberately decoupled from the true delay
-  used during acquisition, because estimating that true delay is exactly the
-  calibration problem of Section IV).
+* :class:`ReconstructionPlan` — the precompiled evaluator of Eq. (6): for a
+  fixed ``(sample_set, evaluation_times, num_taps, window)`` it computes the
+  tap index matrix, validity mask, gathered sample pairs, taper and the
+  delay-independent kernel trigonometry **once**, then evaluates the
+  reconstruction for any assumed delay ``D_hat`` — including a batched
+  :meth:`ReconstructionPlan.evaluate_many` that adds a leading delay axis and
+  amortises the kernel evaluation across candidate delays (the inner loop of
+  the Section IV skew calibration);
+* :class:`NonuniformReconstructor` — a thin façade over
+  :class:`ReconstructionPlan` keeping the original arbitrary-times API: it
+  binds one assumed delay ``D_hat`` and builds (and caches) plans for the
+  time grids it is asked to evaluate (the assumed delay is deliberately
+  decoupled from the true delay used during acquisition, because estimating
+  that true delay is exactly the calibration problem of Section IV);
+* :func:`reference_evaluate` — the direct, pre-plan evaluation of Eq. (6),
+  kept verbatim as the numerical oracle for equivalence tests and the
+  before/after benchmark baseline.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -29,14 +42,23 @@ import numpy as np
 from ..errors import ReconstructionError, ValidationError
 from ..signals.passband import AnalogSignal
 from ..utils.validation import check_1d_array, check_integer, check_positive
+from ..utils.windows import evaluate_taper
 from .bandpass import BandpassBand
-from .nonuniform import KohlenbergKernel
+from .nonuniform import (
+    DEFAULT_DELAY_TOLERANCE,
+    KohlenbergKernel,
+    band_order,
+    check_delay,
+    integer_band_positioning,
+)
 
 __all__ = [
     "NonuniformSampleSet",
     "IdealNonuniformSampler",
+    "ReconstructionPlan",
     "NonuniformReconstructor",
     "reconstruct",
+    "reference_evaluate",
 ]
 
 
@@ -184,8 +206,323 @@ class IdealNonuniformSampler:
         )
 
 
+#: Upper bound on ``num_delays * num_times * num_taps`` elements materialised
+#: at once by :meth:`ReconstructionPlan.evaluate_many`.  Larger batches are
+#: processed in chunks along the delay axis: the broadcast temporaries must
+#: stay cache-resident (a few hundred kB each) or the batch becomes
+#: memory-bandwidth-bound and slower than a per-delay loop.
+_BATCH_ELEMENT_BUDGET = 72_000
+
+#: Sinc arguments smaller than this are evaluated through the Taylor series
+#: ``1 - (pi x)^2 / 6`` instead of the angle-addition quotient, whose absolute
+#: error (~1e-16 / (pi x)) would otherwise grow as the argument shrinks.
+_SINC_SERIES_THRESHOLD = 1.0e-6
+
+
+def _sinc_from_parts(sin_pi_x: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``sinc(x) = sin(pi x) / (pi x)`` given ``sin(pi x)`` already computed.
+
+    The numerator comes from an exact angle-addition expansion, so near the
+    removable singularity the quotient is replaced by its Taylor series
+    (accurate to ~1e-24 at the switch-over point).
+    """
+    denominator = np.pi * x
+    small = np.abs(x) < _SINC_SERIES_THRESHOLD
+    out = np.empty_like(denominator)
+    np.divide(sin_pi_x, denominator, out=out, where=~small)
+    if small.any():
+        out[small] = 1.0 - denominator[small] ** 2 / 6.0
+    return out
+
+
+class _KernelTermCache:
+    """Delay-independent trigonometry of one Kohlenberg kernel term.
+
+    Each of the two terms of Eq. (2) has the shape
+
+        ``s_i(t; D) = scale * sinc(c_env * t)
+                      * (cos(c_osc * t) - sin(c_osc * t) * cot(order*pi*B*D))``
+
+    (the cancellation-free product form of :class:`KohlenbergKernel`, with the
+    delay-dependent ``sin(. - phi)/sin(phi)`` quotient expanded through the
+    angle-addition identity).  Reconstruction evaluates the term at the two
+    argument families ``-v`` (on-grid) and ``v + D`` (delayed channel), where
+    ``v = nT - t`` is fixed by the plan.  All trigonometry of ``v`` is
+    computed here once; per candidate delay only scalar sines/cosines of
+    ``D`` remain, broadcast against the cached arrays.
+    """
+
+    __slots__ = (
+        "order",
+        "scale",
+        "c_osc",
+        "c_env",
+        "c_phi",
+        "sin_osc",
+        "cos_osc",
+        "sin_env",
+        "cos_env",
+        "env_argument",
+        "on_grid_cos",
+        "on_grid_sin",
+    )
+
+    def __init__(
+        self,
+        order: int,
+        scale: float,
+        oscillation_hz: float,
+        envelope_hz: float,
+        bandwidth: float,
+        v: np.ndarray,
+    ) -> None:
+        self.order = int(order)
+        self.scale = float(scale)
+        self.c_osc = np.pi * oscillation_hz
+        self.c_env = float(envelope_hz)
+        self.c_phi = self.order * np.pi * bandwidth
+        oscillation = self.c_osc * v
+        self.sin_osc = np.sin(oscillation)
+        self.cos_osc = np.cos(oscillation)
+        envelope_phase = np.pi * self.c_env * v
+        self.sin_env = np.sin(envelope_phase)
+        self.cos_env = np.cos(envelope_phase)
+        self.env_argument = self.c_env * v
+        # On-grid kernel argument is -v: sinc is even, cos(c_osc*(-v)) is
+        # cos_osc and sin(c_osc*(-v)) is -sin_osc, so the on-grid term reduces
+        # to (on_grid_cos + on_grid_sin * cot(phi)) with these two constants.
+        scaled_envelope = self.scale * _sinc_from_parts(self.sin_env, self.env_argument)
+        self.on_grid_cos = scaled_envelope * self.cos_osc
+        self.on_grid_sin = scaled_envelope * self.sin_osc
+
+    def contributions(self, delay_column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Kernel values at ``-v`` and ``v + D`` for a column of delays.
+
+        ``delay_column`` has shape ``(m, 1, 1)``; both returned arrays
+        broadcast to ``(m, num_times, num_taps)``.
+        """
+        phi = self.c_phi * delay_column
+        cot_phi = np.cos(phi) / np.sin(phi)
+        on_grid = self.on_grid_cos + self.on_grid_sin * cot_phi
+
+        alpha = self.c_osc * delay_column
+        sin_alpha = np.sin(alpha)
+        cos_alpha = np.cos(alpha)
+        sin_delayed = self.sin_osc * cos_alpha + self.cos_osc * sin_alpha
+        cos_delayed = self.cos_osc * cos_alpha - self.sin_osc * sin_alpha
+
+        gamma = np.pi * self.c_env * delay_column
+        numerator = self.sin_env * np.cos(gamma) + self.cos_env * np.sin(gamma)
+        envelope = _sinc_from_parts(numerator, self.env_argument + self.c_env * delay_column)
+        delayed = (self.scale * envelope) * (cos_delayed - sin_delayed * cot_phi)
+        return on_grid, delayed
+
+
+class ReconstructionPlan:
+    """Precompiled Eq. (6) evaluator for a fixed evaluation-time grid.
+
+    The Section IV skew calibration evaluates the *same* ~300 time instants
+    under hundreds of candidate delays; only the kernel phase terms depend on
+    the delay, yet the direct evaluator redoes the tap indexing, the sample
+    gathering, the taper (a modified-Bessel evaluation for the Kaiser window)
+    and the full kernel trigonometry on every call.  A plan performs all of
+    that delay-independent work once at construction; evaluating a candidate
+    delay then reduces to broadcast multiply-adds against the cached arrays
+    plus a handful of scalar trigonometric calls.
+
+    Parameters
+    ----------
+    sample_set:
+        The acquired nonuniform samples.
+    evaluation_times:
+        The fixed 1-D grid of time instants the plan evaluates.
+    num_taps:
+        ``nw``: the number of sample pairs on each side of the evaluation
+        instant is ``nw / 2`` (the paper's 61-tap filter corresponds to
+        ``nw = 60``).
+    window:
+        Name of the taper applied over the truncated kernel support
+        (``"kaiser"``, ``"hann"``, ``"hamming"``, ``"blackman"``,
+        ``"rectangular"``).
+    kaiser_beta:
+        Kaiser shape parameter when ``window == "kaiser"``.
+    delay_tolerance:
+        Relative closeness to a forbidden delay (Eq. 3) rejected by
+        :func:`~repro.sampling.nonuniform.check_delay` during evaluation.
+    """
+
+    def __init__(
+        self,
+        sample_set: NonuniformSampleSet,
+        evaluation_times,
+        num_taps: int = 60,
+        window: str = "kaiser",
+        kaiser_beta: float = 8.0,
+        delay_tolerance: float = DEFAULT_DELAY_TOLERANCE,
+    ) -> None:
+        if not isinstance(sample_set, NonuniformSampleSet):
+            raise ValidationError("sample_set must be a NonuniformSampleSet")
+        times = np.atleast_1d(np.asarray(evaluation_times, dtype=float))
+        if times.ndim != 1:
+            raise ValidationError("evaluation_times must be a 1-D array of time instants")
+        num_taps = check_integer(num_taps, "num_taps", minimum=2)
+        if num_taps % 2 != 0:
+            raise ValidationError("num_taps (nw) must be even; the filter then has nw + 1 taps")
+        self._samples = sample_set
+        self._times = times
+        self._num_taps = num_taps
+        self._window = str(window)
+        self._kaiser_beta = float(kaiser_beta)
+        self._delay_tolerance = float(delay_tolerance)
+
+        period = sample_set.sample_period
+        half = num_taps // 2
+        centre_index = np.round((times - sample_set.start_time) / period).astype(np.int64)
+        offsets = np.arange(-half, half + 1)
+        index_matrix = centre_index[:, None] + offsets[None, :]
+        valid = (index_matrix >= 0) & (index_matrix < len(sample_set))
+        clipped = np.clip(index_matrix, 0, len(sample_set) - 1)
+        grid_times = sample_set.start_time + clipped * period
+
+        # v = nT - t: the on-grid kernel argument is -v, the delayed-channel
+        # argument is v + D_hat for any candidate delay D_hat.
+        v = grid_times - times[:, None]
+        taper = evaluate_taper(
+            self._window, v / (half * period + period), kaiser_beta=self._kaiser_beta
+        )
+        weight = np.where(valid, taper, 0.0)
+        self._weighted_on_grid = sample_set.on_grid[clipped] * weight
+        self._weighted_delayed = sample_set.delayed[clipped] * weight
+
+        band = sample_set.band
+        k, k_plus = band_order(band)
+        f_low = band.f_low
+        bandwidth = band.bandwidth
+        f_mirror = k * bandwidth - f_low
+        f_high = f_low + bandwidth
+        self._terms: list[_KernelTermCache] = []
+        if not integer_band_positioning(band):
+            self._terms.append(
+                _KernelTermCache(
+                    order=k,
+                    scale=k - 2.0 * f_low / bandwidth,
+                    oscillation_hz=f_mirror + f_low,
+                    envelope_hz=f_mirror - f_low,
+                    bandwidth=bandwidth,
+                    v=v,
+                )
+            )
+        self._terms.append(
+            _KernelTermCache(
+                order=k_plus,
+                scale=2.0 * f_low / bandwidth + 1.0 - k,
+                oscillation_hz=f_high + f_mirror,
+                envelope_hz=f_high - f_mirror,
+                bandwidth=bandwidth,
+                v=v,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public attributes
+    # ------------------------------------------------------------------ #
+    @property
+    def sample_set(self) -> NonuniformSampleSet:
+        """The acquisition this plan reconstructs from."""
+        return self._samples
+
+    @property
+    def evaluation_times(self) -> np.ndarray:
+        """The fixed time grid the plan evaluates (do not mutate)."""
+        return self._times
+
+    @property
+    def num_taps(self) -> int:
+        """The truncation parameter ``nw``."""
+        return self._num_taps
+
+    @property
+    def window(self) -> str:
+        """Name of the reconstruction taper."""
+        return self._window
+
+    @property
+    def kaiser_beta(self) -> float:
+        """Kaiser shape parameter of the taper."""
+        return self._kaiser_beta
+
+    def valid_time_range(self, assumed_delay: float | None = None) -> tuple[float, float]:
+        """Interval over which the truncated sum has full kernel support."""
+        half_span = (self._num_taps // 2) * self._samples.sample_period
+        delay = self._samples.delay if assumed_delay is None else float(assumed_delay)
+        return (
+            self._samples.start_time + half_span,
+            self._samples.end_time - half_span - delay,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, assumed_delay: float, validate: bool = True) -> np.ndarray:
+        """Reconstruct at the plan's time grid under one assumed delay."""
+        if validate:
+            assumed_delay = self._validate_delay(assumed_delay)
+        return self._evaluate_batch(np.array([float(assumed_delay)]))[0]
+
+    def evaluate_many(self, assumed_delays, validate: bool = True) -> np.ndarray:
+        """Batched Eq. (6): one row of reconstructions per candidate delay.
+
+        Adds a leading delay axis to the kernel evaluation, so the gathered
+        samples, taper and cached trigonometry are shared across all
+        candidates; returns an array of shape ``(num_delays, num_times)``.
+        The batch is processed in chunks along the delay axis to bound the
+        size of the broadcast temporaries.
+        """
+        delays = np.atleast_1d(np.asarray(assumed_delays, dtype=float))
+        if delays.ndim != 1:
+            raise ValidationError("assumed_delays must be a 1-D array of candidate delays")
+        if validate:
+            for delay in delays:
+                self._validate_delay(delay)
+        result = np.empty((delays.size, self._times.size))
+        per_delay = max(1, self._times.size * (self._num_taps + 1))
+        chunk = max(1, _BATCH_ELEMENT_BUDGET // per_delay)
+        for start in range(0, delays.size, chunk):
+            block = delays[start : start + chunk]
+            result[start : start + block.size] = self._evaluate_batch(block)
+        return result
+
+    def _evaluate_batch(self, delays: np.ndarray) -> np.ndarray:
+        """Core batched evaluation over a validated chunk of delays."""
+        delay_column = delays.reshape(-1, 1, 1)
+        on_grid_total: np.ndarray | None = None
+        delayed_total: np.ndarray | None = None
+        for term in self._terms:
+            on_grid, delayed = term.contributions(delay_column)
+            if on_grid_total is None:
+                on_grid_total, delayed_total = on_grid, delayed
+            else:
+                on_grid_total += on_grid
+                delayed_total += delayed
+        return np.einsum("np,mnp->mn", self._weighted_on_grid, on_grid_total) + np.einsum(
+            "np,mnp->mn", self._weighted_delayed, delayed_total
+        )
+
+    def _validate_delay(self, delay: float) -> float:
+        """Reject delays Eq. (3) forbids, mirroring the direct evaluator."""
+        delay = check_positive(delay, "assumed_delay")
+        return check_delay(self._samples.band, delay, tolerance=self._delay_tolerance)
+
+
 class NonuniformReconstructor:
     """Truncated, windowed Kohlenberg reconstruction (Eq. 6 of the paper).
+
+    A thin façade over :class:`ReconstructionPlan` that binds one assumed
+    delay and accepts arbitrary time grids: each distinct small grid compiles
+    a plan that is cached (keyed by the grid's contents), so repeated
+    evaluation over the same instants reuses all delay-independent state
+    instead of rebuilding it; large one-shot grids (dense measurement
+    renders) use throwaway plans so their caches don't accumulate.
 
     Parameters
     ----------
@@ -207,6 +544,16 @@ class NonuniformReconstructor:
         Kaiser shape parameter when ``window == "kaiser"``.
     """
 
+    #: Number of distinct time grids whose plans are kept alive per instance.
+    _PLAN_CACHE_SIZE = 4
+
+    #: Grids larger than this (in ``num_times * (num_taps + 1)`` elements)
+    #: are not cached: a plan's trig caches hold ~16 arrays of that size, so
+    #: keeping plans for one-shot dense measurement renders would pin tens of
+    #: MB per grid for no reuse.  Building a throwaway plan costs about one
+    #: direct evaluation, so large grids lose nothing.
+    _PLAN_CACHE_MAX_ELEMENTS = 65_536
+
     def __init__(
         self,
         sample_set: NonuniformSampleSet,
@@ -227,6 +574,7 @@ class NonuniformReconstructor:
         self._window = str(window)
         self._kaiser_beta = float(kaiser_beta)
         self._kernel = KohlenbergKernel(sample_set.band, self._assumed_delay)
+        self._plans: OrderedDict[bytes, ReconstructionPlan] = OrderedDict()
 
     @property
     def assumed_delay(self) -> float:
@@ -243,6 +591,11 @@ class NonuniformReconstructor:
         """The truncation parameter ``nw``."""
         return self._num_taps
 
+    @property
+    def window(self) -> str:
+        """Name of the reconstruction taper."""
+        return self._window
+
     def valid_time_range(self) -> tuple[float, float]:
         """Time interval over which the truncated sum has full support.
 
@@ -255,59 +608,116 @@ class NonuniformReconstructor:
             self._samples.end_time - half_span - self._assumed_delay,
         )
 
+    def plan_for(self, times) -> ReconstructionPlan:
+        """The precompiled plan for a given evaluation-time grid.
+
+        Small grids (the repeatedly-swept calibration instants) are cached;
+        large one-shot grids (dense measurement renders) get a throwaway plan
+        so their sizeable trig caches are released after use.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        if times.size * (self._num_taps + 1) > self._PLAN_CACHE_MAX_ELEMENTS:
+            # Too large to cache — skip the key serialisation entirely.
+            return ReconstructionPlan(
+                self._samples,
+                times,
+                num_taps=self._num_taps,
+                window=self._window,
+                kaiser_beta=self._kaiser_beta,
+            )
+        key = times.tobytes()
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = ReconstructionPlan(
+                self._samples,
+                times,
+                num_taps=self._num_taps,
+                window=self._window,
+                kaiser_beta=self._kaiser_beta,
+            )
+            self._plans[key] = plan
+            if len(self._plans) > self._PLAN_CACHE_SIZE:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return plan
+
     def evaluate(self, times) -> np.ndarray:
         """Evaluate the reconstructed waveform at arbitrary time instants.
 
         Implements Eq. (6): for each requested time ``t`` the sum runs over
         the ``nw + 1`` sample pairs nearest to ``t``, each contribution being
         ``f(nT) * s(t - nT) + f(nT + D_hat) * s(nT + D_hat - t)``, windowed
-        across the truncated support.
+        across the truncated support.  The assumed delay was validated at
+        construction, so the cached plan is evaluated without re-checking it.
         """
-        times = np.atleast_1d(np.asarray(times, dtype=float))
-        samples = self._samples
-        period = samples.sample_period
-        half = self._num_taps // 2
-
-        # Index of the on-grid sample nearest to each requested time.
-        centre_index = np.round((times - samples.start_time) / period).astype(np.int64)
-        offsets = np.arange(-half, half + 1)
-        index_matrix = centre_index[:, None] + offsets[None, :]
-        valid = (index_matrix >= 0) & (index_matrix < len(samples))
-        clipped = np.clip(index_matrix, 0, len(samples) - 1)
-
-        grid_times = samples.start_time + clipped * period
-        # Kernel arguments for the two sequences (Eq. 1 / Eq. 6).
-        argument_on_grid = times[:, None] - grid_times
-        argument_delayed = grid_times + self._assumed_delay - times[:, None]
-
-        taper = self._taper(argument_on_grid, half * period)
-
-        contributions = (
-            samples.on_grid[clipped] * self._kernel.s(argument_on_grid)
-            + samples.delayed[clipped] * self._kernel.s(argument_delayed)
-        )
-        contributions = np.where(valid, contributions * taper, 0.0)
-        return np.sum(contributions, axis=1)
-
-    def _taper(self, offsets: np.ndarray, half_span: float) -> np.ndarray:
-        """Evaluate the reconstruction window over the truncated support."""
-        window = self._window.lower()
-        x = np.clip(np.abs(offsets) / (half_span + self._samples.sample_period), 0.0, 1.0)
-        if window in ("rectangular", "boxcar", "rect"):
-            return np.ones_like(x)
-        if window == "hann":
-            return 0.5 + 0.5 * np.cos(np.pi * x)
-        if window == "hamming":
-            return 0.54 + 0.46 * np.cos(np.pi * x)
-        if window == "blackman":
-            return 0.42 + 0.5 * np.cos(np.pi * x) + 0.08 * np.cos(2.0 * np.pi * x)
-        if window == "kaiser":
-            argument = self._kaiser_beta * np.sqrt(np.clip(1.0 - x**2, 0.0, None))
-            return np.i0(argument) / np.i0(self._kaiser_beta)
-        raise ReconstructionError(f"unknown reconstruction window {self._window!r}")
+        return self.plan_for(times).evaluate(self._assumed_delay, validate=False)
 
     def __call__(self, times) -> np.ndarray:
         return self.evaluate(times)
+
+
+def reference_evaluate(
+    sample_set: NonuniformSampleSet,
+    times,
+    assumed_delay: float | None = None,
+    num_taps: int = 60,
+    window: str = "kaiser",
+    kaiser_beta: float = 8.0,
+) -> np.ndarray:
+    """Direct (pre-plan) evaluation of Eq. (6), kept as the numerical oracle.
+
+    This is the original hot-path implementation, preserved verbatim: it
+    redoes the tap indexing, gathering, taper and the full kernel
+    trigonometry on every call.  The plan-based evaluators are required to
+    agree with it to tight tolerance (see the equivalence tests and
+    ``benchmarks/bench_reconstruction.py``); do not "optimise" this function.
+    """
+    if not isinstance(sample_set, NonuniformSampleSet):
+        raise ValidationError("sample_set must be a NonuniformSampleSet")
+    delay = (
+        sample_set.delay if assumed_delay is None else check_positive(assumed_delay, "assumed_delay")
+    )
+    num_taps = check_integer(num_taps, "num_taps", minimum=2)
+    if num_taps % 2 != 0:
+        raise ValidationError("num_taps (nw) must be even; the filter then has nw + 1 taps")
+    kernel = KohlenbergKernel(sample_set.band, delay)
+    times = np.atleast_1d(np.asarray(times, dtype=float))
+    period = sample_set.sample_period
+    half = num_taps // 2
+
+    centre_index = np.round((times - sample_set.start_time) / period).astype(np.int64)
+    offsets = np.arange(-half, half + 1)
+    index_matrix = centre_index[:, None] + offsets[None, :]
+    valid = (index_matrix >= 0) & (index_matrix < len(sample_set))
+    clipped = np.clip(index_matrix, 0, len(sample_set) - 1)
+
+    grid_times = sample_set.start_time + clipped * period
+    argument_on_grid = times[:, None] - grid_times
+    argument_delayed = grid_times + delay - times[:, None]
+
+    window_name = str(window).lower()
+    x = np.clip(np.abs(argument_on_grid) / (half * period + period), 0.0, 1.0)
+    if window_name in ("rectangular", "boxcar", "rect"):
+        taper = np.ones_like(x)
+    elif window_name == "hann":
+        taper = 0.5 + 0.5 * np.cos(np.pi * x)
+    elif window_name == "hamming":
+        taper = 0.54 + 0.46 * np.cos(np.pi * x)
+    elif window_name == "blackman":
+        taper = 0.42 + 0.5 * np.cos(np.pi * x) + 0.08 * np.cos(2.0 * np.pi * x)
+    elif window_name == "kaiser":
+        argument = float(kaiser_beta) * np.sqrt(np.clip(1.0 - x**2, 0.0, None))
+        taper = np.i0(argument) / np.i0(float(kaiser_beta))
+    else:
+        raise ReconstructionError(f"unknown reconstruction window {window!r}")
+
+    contributions = (
+        sample_set.on_grid[clipped] * kernel.s(argument_on_grid)
+        + sample_set.delayed[clipped] * kernel.s(argument_delayed)
+    )
+    contributions = np.where(valid, contributions * taper, 0.0)
+    return np.sum(contributions, axis=1)
 
 
 def reconstruct(

@@ -8,9 +8,11 @@ benchmarks without touching the reconstruction code.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import ReconstructionError, ValidationError
 from .validation import check_integer, check_non_negative
 
 __all__ = [
@@ -21,6 +23,8 @@ __all__ = [
     "rectangular_window",
     "make_window",
     "kaiser_beta_for_attenuation",
+    "kaiser_normaliser",
+    "evaluate_taper",
     "AVAILABLE_WINDOWS",
 ]
 
@@ -75,7 +79,7 @@ def kaiser_window(num_taps: int, beta: float = 8.0) -> np.ndarray:
     n = np.arange(num_taps)
     alpha = (num_taps - 1) / 2.0
     argument = beta * np.sqrt(np.clip(1.0 - ((n - alpha) / alpha) ** 2, 0.0, None))
-    return np.i0(argument) / np.i0(beta)
+    return np.i0(argument) / kaiser_normaliser(float(beta))
 
 
 def kaiser_beta_for_attenuation(attenuation_db: float) -> float:
@@ -89,6 +93,48 @@ def kaiser_beta_for_attenuation(attenuation_db: float) -> float:
     if attenuation_db >= 21.0:
         return 0.5842 * (attenuation_db - 21.0) ** 0.4 + 0.07886 * (attenuation_db - 21.0)
     return 0.0
+
+
+@lru_cache(maxsize=64)
+def kaiser_normaliser(beta: float) -> float:
+    """The constant Kaiser denominator ``I0(beta)``, computed once per ``beta``.
+
+    Every Kaiser taper evaluation divides by ``I0(beta)``; the modified Bessel
+    series is by far the most expensive part of the taper, so the normaliser
+    is cached instead of re-evaluated on every reconstruction call.
+    """
+    return float(np.i0(beta))
+
+
+def evaluate_taper(name: str, fraction, kaiser_beta: float = 8.0) -> np.ndarray:
+    """Evaluate a reconstruction taper at normalised support offsets.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`AVAILABLE_WINDOWS` (plus the ``"boxcar"``/``"rect"``
+        aliases).
+    fraction:
+        Offsets from the evaluation instant as a fraction of the truncated
+        kernel half-span; the magnitude is clipped into ``[0, 1]`` so that
+        out-of-support offsets taper to the window's edge value.
+    kaiser_beta:
+        Kaiser shape parameter; ignored for the other windows.
+    """
+    window = str(name).lower()
+    x = np.clip(np.abs(np.asarray(fraction, dtype=float)), 0.0, 1.0)
+    if window in ("rectangular", "boxcar", "rect"):
+        return np.ones_like(x)
+    if window == "hann":
+        return 0.5 + 0.5 * np.cos(np.pi * x)
+    if window == "hamming":
+        return 0.54 + 0.46 * np.cos(np.pi * x)
+    if window == "blackman":
+        return 0.42 + 0.5 * np.cos(np.pi * x) + 0.08 * np.cos(2.0 * np.pi * x)
+    if window == "kaiser":
+        argument = float(kaiser_beta) * np.sqrt(np.clip(1.0 - x**2, 0.0, None))
+        return np.i0(argument) / kaiser_normaliser(float(kaiser_beta))
+    raise ReconstructionError(f"unknown reconstruction window {name!r}")
 
 
 def make_window(name: str, num_taps: int, beta: float = 8.0) -> np.ndarray:

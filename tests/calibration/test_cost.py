@@ -88,6 +88,114 @@ class TestCostFunctionShape:
             cost_function(-1e-12)
 
 
+class TestVectorisedSweep:
+    def test_sweep_matches_scalar_calls(self, cost_function):
+        candidates = np.linspace(60e-12, 420e-12, 19)
+        swept = cost_function.sweep(candidates)
+        scalar = np.array([cost_function(delay) for delay in candidates])
+        np.testing.assert_allclose(swept, scalar, rtol=1e-12)
+
+    def test_evaluate_many_matches_sweep(self, cost_function):
+        candidates = np.linspace(100e-12, 300e-12, 9)
+        np.testing.assert_array_equal(
+            cost_function.evaluate_many(candidates), cost_function.sweep(candidates)
+        )
+
+    def test_evaluate_many_inf_mode_flags_invalid(self, cost_function):
+        bound = cost_function.upper_bound
+        candidates = np.array([180e-12, bound * 1.2, 150e-12, -1e-12])
+        costs = cost_function.evaluate_many(candidates, invalid="inf")
+        assert np.isfinite(costs[0]) and np.isfinite(costs[2])
+        assert np.isinf(costs[1]) and np.isinf(costs[3])
+
+    def test_evaluate_many_raise_mode_propagates(self, cost_function):
+        with pytest.raises(CalibrationError):
+            cost_function.evaluate_many([180e-12, cost_function.upper_bound * 1.2])
+        with pytest.raises(ValidationError):
+            cost_function.evaluate_many([180e-12, -1e-12])
+
+    def test_invalid_mode_name_rejected(self, cost_function):
+        with pytest.raises(ValidationError):
+            cost_function.evaluate_many([180e-12], invalid="nan")
+
+    def test_plans_are_reused(self, cost_function):
+        assert cost_function.plan_fast is cost_function.plan_fast
+        assert cost_function.plan_fast.evaluation_times is cost_function.evaluation_times
+
+    def test_frozen_against_silent_reconfiguration(self, cost_function):
+        """Fields are compiled into the plans, so post-hoc mutation must fail."""
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cost_function.num_taps = 80
+
+    def test_scalar_call_dispatches_through_reconstruct_overrides(
+        self, fast_sample_set, slow_sample_set
+    ):
+        class Doubled(SkewCostFunction):
+            def reconstruct_fast(self, candidate_delay):
+                return 2.0 * super().reconstruct_fast(candidate_delay)
+
+            def reconstruct_slow(self, candidate_delay):
+                return 2.0 * super().reconstruct_slow(candidate_delay)
+
+        base = SkewCostFunction(fast_sample_set, slow_sample_set, seed=3)
+        doubled = Doubled(
+            fast_sample_set, slow_sample_set, evaluation_times=base.evaluation_times
+        )
+        assert doubled(180e-12) == pytest.approx(4.0 * base(180e-12), rel=1e-12)
+
+    def test_batched_paths_honour_reconstruct_overrides(
+        self, fast_sample_set, slow_sample_set
+    ):
+        """sweep/evaluate_many must not bypass overridden reconstruction hooks."""
+
+        class Doubled(SkewCostFunction):
+            def reconstruct_fast(self, candidate_delay):
+                return 2.0 * super().reconstruct_fast(candidate_delay)
+
+            def reconstruct_slow(self, candidate_delay):
+                return 2.0 * super().reconstruct_slow(candidate_delay)
+
+        doubled = Doubled(fast_sample_set, slow_sample_set, seed=3)
+        candidates = np.array([150e-12, 180e-12, 210e-12])
+        scalar = np.array([doubled(delay) for delay in candidates])
+        np.testing.assert_allclose(doubled.sweep(candidates), scalar, rtol=1e-12)
+        # The batched LMS mode therefore stays consistent with sequential
+        # mode for subclasses too.
+        from repro.calibration import LmsSkewEstimator
+
+        batched = LmsSkewEstimator(doubled, initial_step_seconds=1e-12, batched=True)
+        sequential = LmsSkewEstimator(doubled, initial_step_seconds=1e-12, batched=False)
+        result_batched = batched.estimate(150e-12)
+        result_sequential = sequential.estimate(150e-12)
+        assert [i.estimate for i in result_batched.history] == [
+            i.estimate for i in result_sequential.history
+        ]
+
+    def test_reconstructions_match_reference_path(self, cost_function):
+        """The plan-backed reconstructions agree with the pre-plan oracle."""
+        from repro.sampling import reference_evaluate
+
+        for delay in (120e-12, 180e-12, 250e-12):
+            np.testing.assert_allclose(
+                cost_function.reconstruct_fast(delay),
+                reference_evaluate(
+                    cost_function.sample_set_fast, cost_function.evaluation_times, delay
+                ),
+                rtol=1e-9,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                cost_function.reconstruct_slow(delay),
+                reference_evaluate(
+                    cost_function.sample_set_slow, cost_function.evaluation_times, delay
+                ),
+                rtol=1e-9,
+                atol=1e-12,
+            )
+
+
 class TestCostFunctionConfiguration:
     def test_swapped_sample_sets_rejected(self, fast_sample_set, slow_sample_set):
         with pytest.raises(ValidationError):

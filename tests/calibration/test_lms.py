@@ -56,6 +56,36 @@ class TestConvergence:
         assert result.cost_evaluations >= result.iterations
 
 
+class TestBatchedProbes:
+    @pytest.mark.parametrize("initial_ps", [50.0, 100.0, 350.0, 400.0])
+    def test_batched_and_sequential_trajectories_identical(self, cost_function, initial_ps):
+        """Batching the probe pairs must not change the accepted iterates."""
+        batched = LmsSkewEstimator(
+            cost_function, initial_step_seconds=1e-12, max_iterations=60, batched=True
+        ).estimate(initial_ps * 1e-12)
+        sequential = LmsSkewEstimator(
+            cost_function, initial_step_seconds=1e-12, max_iterations=60, batched=False
+        ).estimate(initial_ps * 1e-12)
+        assert batched.estimate == sequential.estimate
+        assert batched.iterations == sequential.iterations
+        assert [item.estimate for item in batched.history] == [
+            item.estimate for item in sequential.history
+        ]
+        assert [item.cost for item in batched.history] == [
+            item.cost for item in sequential.history
+        ]
+
+    def test_batched_is_default(self, cost_function):
+        assert LmsSkewEstimator(cost_function).batched is True
+
+    def test_batched_counts_both_probes(self, cost_function):
+        result = LmsSkewEstimator(
+            cost_function, initial_step_seconds=1e-12, batched=True
+        ).estimate(50e-12)
+        # Every probe evaluates the forward and mirrored candidates together.
+        assert result.cost_evaluations >= 2 * (result.iterations - 1)
+
+
 class TestConfiguration:
     def test_initial_delay_outside_interval_rejected(self, cost_function):
         estimator = LmsSkewEstimator(cost_function)

@@ -1,0 +1,242 @@
+"""Plan/legacy equivalence tests for repro.sampling.reconstruction.
+
+The :class:`ReconstructionPlan` fast path must agree with the preserved
+pre-refactor implementation (:func:`reference_evaluate`) to tight tolerance
+for every window, any valid delay, and on every part of the record —
+including edge times where the truncated kernel support falls off the
+acquisition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DelayConstraintError,
+    ReconstructionError,
+    ValidationError,
+)
+from repro.sampling import (
+    BandpassBand,
+    IdealNonuniformSampler,
+    NonuniformReconstructor,
+    ReconstructionPlan,
+    reference_evaluate,
+)
+from repro.sampling.nonuniform import delay_upper_bound
+
+DELAY = 180e-12
+ALL_WINDOWS = ["kaiser", "hann", "hamming", "blackman", "rectangular"]
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def random_valid_delays(band, rng, count=6):
+    """Candidate delays drawn across the stable search interval (0, m)."""
+    bound = delay_upper_bound(band)
+    return rng.uniform(0.05 * bound, 0.95 * bound, count)
+
+
+@pytest.fixture(scope="module")
+def plan_times(fast_sample_set):
+    reconstructor = NonuniformReconstructor(fast_sample_set, num_taps=60)
+    low, high = reconstructor.valid_time_range()
+    rng = np.random.default_rng(7)
+    return np.sort(rng.uniform(low, high, 200))
+
+
+class TestPlanReferenceEquivalence:
+    @pytest.mark.parametrize("window", ALL_WINDOWS)
+    def test_all_windows_match_reference(self, fast_sample_set, plan_times, window):
+        plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=60, window=window)
+        rng = np.random.default_rng(42)
+        for delay in random_valid_delays(fast_sample_set.band, rng):
+            np.testing.assert_allclose(
+                plan.evaluate(delay),
+                reference_evaluate(fast_sample_set, plan_times, delay, num_taps=60, window=window),
+                rtol=RTOL,
+                atol=ATOL,
+            )
+
+    def test_random_delays_property_style(self, fast_sample_set, plan_times):
+        """Many random (delay, taps) draws all agree with the reference path."""
+        rng = np.random.default_rng(2014)
+        for _ in range(10):
+            num_taps = int(rng.choice([16, 32, 60, 80]))
+            delay = float(random_valid_delays(fast_sample_set.band, rng, count=1)[0])
+            plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=num_taps)
+            np.testing.assert_allclose(
+                plan.evaluate(delay),
+                reference_evaluate(fast_sample_set, plan_times, delay, num_taps=num_taps),
+                rtol=RTOL,
+                atol=ATOL,
+            )
+
+    def test_slow_acquisition_matches_reference(self, slow_sample_set):
+        rng = np.random.default_rng(3)
+        times = np.sort(
+            rng.uniform(slow_sample_set.start_time, slow_sample_set.end_time, 150)
+        )
+        plan = ReconstructionPlan(slow_sample_set, times, num_taps=60)
+        for delay in random_valid_delays(slow_sample_set.band, rng):
+            np.testing.assert_allclose(
+                plan.evaluate(delay),
+                reference_evaluate(slow_sample_set, times, delay, num_taps=60),
+                rtol=RTOL,
+                atol=ATOL,
+            )
+
+    def test_edge_of_record_times(self, fast_sample_set):
+        """Partial-support instants (clipped tap indices) match the reference."""
+        start = fast_sample_set.start_time
+        end = fast_sample_set.end_time
+        period = fast_sample_set.sample_period
+        times = np.array(
+            [
+                start,  # kernel support half off the record
+                start + 2.0 * period,
+                start + 0.5 * period,  # exactly between two grid samples
+                end - 2.0 * period,
+                end - period / 3.0,
+                end + 5.0 * period,  # fully outside: both paths must return 0
+                start - 5.0 * period,
+            ]
+        )
+        plan = ReconstructionPlan(fast_sample_set, times, num_taps=60)
+        np.testing.assert_allclose(
+            plan.evaluate(DELAY),
+            reference_evaluate(fast_sample_set, times, DELAY, num_taps=60),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_time_exactly_on_grid_sample(self, fast_sample_set):
+        """t coinciding with a grid instant hits the sinc removable singularity."""
+        times = fast_sample_set.on_grid_times()[40:44]
+        plan = ReconstructionPlan(fast_sample_set, times, num_taps=60)
+        np.testing.assert_allclose(
+            plan.evaluate(DELAY),
+            reference_evaluate(fast_sample_set, times, DELAY, num_taps=60),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_time_on_delayed_sample_instant(self, fast_sample_set):
+        """t coinciding with a delayed-channel instant (v + D = 0) is exact too."""
+        times = fast_sample_set.delayed_times()[50:53]
+        plan = ReconstructionPlan(fast_sample_set, times, num_taps=60)
+        np.testing.assert_allclose(
+            plan.evaluate(DELAY),
+            reference_evaluate(fast_sample_set, times, DELAY, num_taps=60),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+
+class TestEvaluateMany:
+    def test_matches_looped_evaluate(self, fast_sample_set, plan_times):
+        plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=60)
+        rng = np.random.default_rng(5)
+        delays = random_valid_delays(fast_sample_set.band, rng, count=25)
+        batched = plan.evaluate_many(delays)
+        looped = np.stack([plan.evaluate(delay) for delay in delays])
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_chunking_transparent(self, fast_sample_set, plan_times, monkeypatch):
+        """Results are identical whatever the internal delay-axis chunk size."""
+        import repro.sampling.reconstruction as reconstruction_module
+
+        plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=60)
+        rng = np.random.default_rng(6)
+        delays = random_valid_delays(fast_sample_set.band, rng, count=9)
+        full = plan.evaluate_many(delays)
+        monkeypatch.setattr(reconstruction_module, "_BATCH_ELEMENT_BUDGET", 1)
+        np.testing.assert_array_equal(plan.evaluate_many(delays), full)
+
+    def test_shape_and_empty(self, fast_sample_set, plan_times):
+        plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=60)
+        out = plan.evaluate_many([DELAY, 1.2 * DELAY])
+        assert out.shape == (2, plan_times.size)
+        assert plan.evaluate_many(np.empty(0)).shape == (0, plan_times.size)
+
+    def test_forbidden_delay_rejected(self, fast_sample_set, plan_times):
+        plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=60)
+        forbidden = delay_upper_bound(fast_sample_set.band)
+        with pytest.raises(DelayConstraintError):
+            plan.evaluate_many([DELAY, forbidden])
+
+    def test_non_positive_delay_rejected(self, fast_sample_set, plan_times):
+        plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=60)
+        with pytest.raises(ValidationError):
+            plan.evaluate(-1e-12)
+
+
+class TestPlanConfiguration:
+    def test_odd_num_taps_rejected(self, fast_sample_set, plan_times):
+        with pytest.raises(ValidationError):
+            ReconstructionPlan(fast_sample_set, plan_times, num_taps=61)
+
+    def test_unknown_window_rejected(self, fast_sample_set, plan_times):
+        with pytest.raises(ReconstructionError):
+            ReconstructionPlan(fast_sample_set, plan_times, window="triangle")
+
+    def test_non_sample_set_rejected(self, plan_times):
+        with pytest.raises(ValidationError):
+            ReconstructionPlan("samples", plan_times)
+
+    def test_properties(self, fast_sample_set, plan_times):
+        plan = ReconstructionPlan(
+            fast_sample_set, plan_times, num_taps=32, window="hann", kaiser_beta=6.0
+        )
+        assert plan.num_taps == 32
+        assert plan.window == "hann"
+        assert plan.kaiser_beta == pytest.approx(6.0)
+        assert plan.sample_set is fast_sample_set
+        np.testing.assert_allclose(plan.evaluation_times, plan_times)
+
+    def test_valid_time_range_matches_facade(self, fast_sample_set, plan_times):
+        plan = ReconstructionPlan(fast_sample_set, plan_times, num_taps=60)
+        facade = NonuniformReconstructor(fast_sample_set, assumed_delay=DELAY, num_taps=60)
+        assert plan.valid_time_range(DELAY) == pytest.approx(facade.valid_time_range())
+
+
+class TestFacade:
+    def test_facade_evaluate_uses_plan(self, fast_sample_set, plan_times):
+        facade = NonuniformReconstructor(fast_sample_set, num_taps=60)
+        np.testing.assert_allclose(
+            facade.evaluate(plan_times),
+            reference_evaluate(fast_sample_set, plan_times, num_taps=60),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_plan_cache_reuses_same_grid(self, fast_sample_set, plan_times):
+        facade = NonuniformReconstructor(fast_sample_set, num_taps=60)
+        assert facade.plan_for(plan_times) is facade.plan_for(plan_times.copy())
+        assert facade.plan_for(plan_times[:50]) is not facade.plan_for(plan_times)
+
+    def test_plan_cache_bounded(self, fast_sample_set, plan_times):
+        facade = NonuniformReconstructor(fast_sample_set, num_taps=60)
+        for split in range(10, 10 + facade._PLAN_CACHE_SIZE + 3):
+            facade.plan_for(plan_times[:split])
+        assert len(facade._plans) <= facade._PLAN_CACHE_SIZE
+
+    def test_large_one_shot_grids_not_cached(self, fast_sample_set, plan_times):
+        """Dense measurement renders must not pin their trig caches."""
+        facade = NonuniformReconstructor(fast_sample_set, num_taps=60)
+        dense = np.linspace(plan_times[0], plan_times[-1], 2_000)
+        assert dense.size * (facade.num_taps + 1) > facade._PLAN_CACHE_MAX_ELEMENTS
+        facade.evaluate(dense)
+        assert len(facade._plans) == 0
+        facade.evaluate(plan_times)  # small grid still cached
+        assert len(facade._plans) == 1
+
+    def test_scalar_time_input(self, fast_sample_set):
+        facade = NonuniformReconstructor(fast_sample_set, num_taps=60)
+        low, high = facade.valid_time_range()
+        midpoint = 0.5 * (low + high)
+        out = facade.evaluate(midpoint)
+        assert out.shape == (1,)
+        np.testing.assert_allclose(
+            out, reference_evaluate(fast_sample_set, midpoint), rtol=RTOL, atol=ATOL
+        )
