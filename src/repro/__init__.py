@@ -18,10 +18,12 @@ radio transmitters end to end:
   the sine-fit baseline it is compared against;
 * :mod:`repro.bist` — the complete transmitter BIST: spectral-mask / ACPR /
   EVM measurements, verdicts and multistandard campaigns;
+* :mod:`repro.faults` — fault models, fault-injection campaigns, the fault
+  dictionary and coverage / test-escape / yield-loss analytics;
 * :mod:`repro.core` — flat re-exports of the primary API.
 """
 
-from . import adc, bist, calibration, core, dsp, rf, sampling, signals, transmitter, utils
+from . import adc, bist, calibration, core, dsp, faults, rf, sampling, signals, transmitter, utils
 from .errors import (
     AliasingError,
     CalibrationError,
@@ -44,6 +46,7 @@ __all__ = [
     "calibration",
     "core",
     "dsp",
+    "faults",
     "rf",
     "sampling",
     "signals",

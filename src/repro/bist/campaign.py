@@ -21,7 +21,7 @@ from ..adc.adc import AdcChannel
 from ..adc.mismatch import ChannelMismatch
 from ..adc.quantizer import UniformQuantizer
 from ..adc.tiadc import BpTiadc, DigitallyControlledDelayElement
-from ..errors import ValidationError
+from ..errors import ConfigurationError, ValidationError
 from ..signals.standards import WaveformProfile, get_profile
 from ..transmitter.chain import HomodyneTransmitter
 from ..transmitter.config import ImpairmentConfig, TransmitterConfig
@@ -74,7 +74,9 @@ class ConverterSpec:
     boundaries, so the parallel :class:`~repro.bist.runner.CampaignRunner`
     needs a *value* that builds the converter instead.  A ``ConverterSpec``
     captures the same knobs as :func:`default_converter` plus the channel-1
-    static gain/offset mismatch, and is itself the factory: calling it with
+    static gain/offset mismatch and an optional channel-1 input-bandwidth
+    limitation (``channel1_bandwidth_hz`` with the ``bandwidth_reference_hz``
+    carrier it is evaluated at), and is itself the factory: calling it with
     the acquisition bandwidth returns the :class:`~repro.adc.tiadc.BpTiadc`.
 
     With the mismatch fields at zero the built converter is identical to the
@@ -87,11 +89,30 @@ class ConverterSpec:
     channel1_skew_seconds: float = 0.0
     channel1_gain_error: float = 0.0
     channel1_offset: float = 0.0
+    channel1_bandwidth_hz: float | None = None
+    bandwidth_reference_hz: float | None = None
     full_scale: float = 3.0
     seed: int | None = 99
 
     def build(self, acquisition_bandwidth_hz: float) -> BpTiadc:
         """Construct the converter for the given per-channel rate."""
+        channel1_mismatch = ChannelMismatch(
+            offset=self.channel1_offset,
+            gain_error=self.channel1_gain_error,
+            skew_seconds=self.channel1_skew_seconds,
+        )
+        if self.channel1_bandwidth_hz is not None:
+            # Channel-1 input-bandwidth limitation, folded into an equivalent
+            # gain/skew mismatch at the acquisition carrier (see
+            # ChannelMismatch.with_input_bandwidth).
+            if self.bandwidth_reference_hz is None:
+                raise ConfigurationError(
+                    "channel1_bandwidth_hz needs bandwidth_reference_hz (the acquisition "
+                    "carrier the single-pole rolloff is evaluated at)"
+                )
+            channel1_mismatch = channel1_mismatch.with_input_bandwidth(
+                self.channel1_bandwidth_hz, self.bandwidth_reference_hz
+            )
         return BpTiadc(
             sample_rate=acquisition_bandwidth_hz,
             dcde=DigitallyControlledDelayElement(
@@ -104,11 +125,7 @@ class ConverterSpec:
             ),
             channel1=AdcChannel(
                 quantizer=UniformQuantizer(self.resolution_bits, self.full_scale),
-                mismatch=ChannelMismatch(
-                    offset=self.channel1_offset,
-                    gain_error=self.channel1_gain_error,
-                    skew_seconds=self.channel1_skew_seconds,
-                ),
+                mismatch=channel1_mismatch,
                 seed=None,
             ),
             skew_jitter_rms_seconds=self.skew_jitter_rms_seconds,

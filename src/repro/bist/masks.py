@@ -46,6 +46,23 @@ class MaskViolation:
         """Limit minus measurement; negative when violating."""
         return self.limit_db - self.measured_db
 
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {
+            "frequency_offset_hz": self.frequency_offset_hz,
+            "measured_db": self.measured_db,
+            "limit_db": self.limit_db,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MaskViolation":
+        """Rebuild a violation serialized with :meth:`to_dict`."""
+        return cls(
+            frequency_offset_hz=data["frequency_offset_hz"],
+            measured_db=data["measured_db"],
+            limit_db=data["limit_db"],
+        )
+
 
 @dataclass(frozen=True)
 class MaskCheckResult:
@@ -67,6 +84,25 @@ class MaskCheckResult:
     worst_margin_db: float
     worst_offset_hz: float
     violations: tuple
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {
+            "passed": self.passed,
+            "worst_margin_db": self.worst_margin_db,
+            "worst_offset_hz": self.worst_offset_hz,
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MaskCheckResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        return cls(
+            passed=bool(data["passed"]),
+            worst_margin_db=data["worst_margin_db"],
+            worst_offset_hz=data["worst_offset_hz"],
+            violations=tuple(MaskViolation.from_dict(v) for v in data["violations"]),
+        )
 
 
 @dataclass(frozen=True)

@@ -312,3 +312,24 @@ class TxMeasurements:
     occupied_bandwidth_hz: float
     evm_percent: float | None
     spectrum: SpectrumEstimate
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {
+            "output_power": self.output_power,
+            "acpr_db": dict(self.acpr_db),
+            "occupied_bandwidth_hz": self.occupied_bandwidth_hz,
+            "evm_percent": self.evm_percent,
+            "spectrum": self.spectrum.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TxMeasurements":
+        """Rebuild measurements serialized with :meth:`to_dict`."""
+        return cls(
+            output_power=data["output_power"],
+            acpr_db=dict(data["acpr_db"]),
+            occupied_bandwidth_hz=data["occupied_bandwidth_hz"],
+            evm_percent=data["evm_percent"],
+            spectrum=SpectrumEstimate.from_dict(data["spectrum"]),
+        )

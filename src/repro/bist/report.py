@@ -72,6 +72,26 @@ class CheckResult:
             text += f" - {self.details}"
         return text
 
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {
+            "verdict": self.verdict.value,
+            "measured": self.measured,
+            "limit": self.limit,
+            "details": self.details,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "CheckResult":
+        """Rebuild a check serialized with :meth:`to_dict`."""
+        return cls(
+            name=name,
+            verdict=Verdict(data["verdict"]),
+            measured=data.get("measured"),
+            limit=data.get("limit"),
+            details=data.get("details", ""),
+        )
+
 
 @dataclass(frozen=True)
 class SkewCalibrationReport:
@@ -117,6 +137,40 @@ class SkewCalibrationReport:
         if self.true_delay_seconds in (None, 0.0):
             return None
         return abs(1.0 - self.estimated_delay_seconds / self.true_delay_seconds)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`).
+
+        Delays are stored in seconds (the dataclass units) alongside the
+        display-friendly picosecond values, so the round trip is bit-exact.
+        """
+        return {
+            "estimated_delay_ps": self.estimated_delay_seconds * 1e12,
+            "programmed_delay_ps": self.programmed_delay_seconds * 1e12,
+            "true_delay_ps": (
+                None if self.true_delay_seconds is None else self.true_delay_seconds * 1e12
+            ),
+            "estimated_delay_seconds": self.estimated_delay_seconds,
+            "programmed_delay_seconds": self.programmed_delay_seconds,
+            "true_delay_seconds": self.true_delay_seconds,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "final_cost": self.final_cost,
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SkewCalibrationReport":
+        """Rebuild a calibration report serialized with :meth:`to_dict`."""
+        return cls(
+            estimated_delay_seconds=data["estimated_delay_seconds"],
+            programmed_delay_seconds=data["programmed_delay_seconds"],
+            true_delay_seconds=data["true_delay_seconds"],
+            iterations=data["iterations"],
+            converged=data["converged"],
+            final_cost=data["final_cost"],
+            method=data.get("method", "lms"),
+        )
 
 
 @dataclass(frozen=True)
@@ -187,31 +241,35 @@ class BistReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        """Render the report as a plain dictionary (JSON-friendly)."""
+        """Render the report as a plain dictionary (JSON-friendly).
+
+        The dictionary is *complete* — calibration, checks, measurements
+        (including the PSD arrays) and the raw mask result — so
+        :meth:`from_dict` rebuilds an identical report; campaign executions
+        archive themselves through exactly this path.
+        """
         return {
             "profile": self.profile_name,
             "verdict": self.verdict.value,
-            "calibration": {
-                "estimated_delay_ps": self.calibration.estimated_delay_seconds * 1e12,
-                "programmed_delay_ps": self.calibration.programmed_delay_seconds * 1e12,
-                "true_delay_ps": (
-                    None
-                    if self.calibration.true_delay_seconds is None
-                    else self.calibration.true_delay_seconds * 1e12
-                ),
-                "iterations": self.calibration.iterations,
-                "converged": self.calibration.converged,
-                "method": self.calibration.method,
-            },
-            "checks": {
-                check.name: {
-                    "verdict": check.verdict.value,
-                    "measured": check.measured,
-                    "limit": check.limit,
-                }
-                for check in self.checks
-            },
+            "calibration": self.calibration.to_dict(),
+            "checks": {check.name: check.to_dict() for check in self.checks},
+            "measurements": self.measurements.to_dict(),
+            "mask_result": None if self.mask_result is None else self.mask_result.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BistReport":
+        """Rebuild a report serialized with :meth:`to_dict`."""
+        mask_data = data.get("mask_result")
+        return cls(
+            profile_name=data["profile"],
+            calibration=SkewCalibrationReport.from_dict(data["calibration"]),
+            measurements=TxMeasurements.from_dict(data["measurements"]),
+            checks=tuple(
+                CheckResult.from_dict(name, check) for name, check in data["checks"].items()
+            ),
+            mask_result=None if mask_data is None else MaskCheckResult.from_dict(mask_data),
+        )
 
 
 def _check_margin(report: BistReport, name: str) -> float | None:

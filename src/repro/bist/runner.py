@@ -31,11 +31,9 @@ import time
 import traceback
 import zlib
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..errors import CampaignExecutionError, ConfigurationError, ValidationError
-from ..rf.amplifier import RappAmplifier
-from ..rf.impairments import DcOffset, IqImbalance
 from ..signals.standards import WaveformProfile
 from ..transmitter.config import ImpairmentConfig
 from .campaign import (
@@ -124,6 +122,32 @@ class ScenarioOutcome:
             )
         return f"{self.label}: ERROR ({self.error})"
 
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`)."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "report": None if self.report is None else self.report.to_dict(),
+            "error": self.error,
+            "traceback_text": self.traceback_text,
+            "duration_seconds": self.duration_seconds,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioOutcome":
+        """Rebuild an outcome serialized with :meth:`to_dict`."""
+        report_data = data.get("report")
+        return cls(
+            index=data["index"],
+            label=data["label"],
+            report=None if report_data is None else BistReport.from_dict(report_data),
+            error=data.get("error"),
+            traceback_text=data.get("traceback_text", ""),
+            duration_seconds=data.get("duration_seconds", 0.0),
+            worker=data.get("worker", ""),
+        )
+
 
 @dataclass(frozen=True)
 class CampaignExecution:
@@ -182,6 +206,23 @@ class CampaignExecution:
     def summary(self) -> CampaignSummary:
         """Aggregate statistics over reports and captured errors."""
         return CampaignSummary.from_entries(self.entries, errors=self.errors)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`).
+
+        This is the campaign archive format: every outcome — including the
+        complete per-scenario reports with their PSD arrays — survives a
+        ``json.dumps`` / ``json.loads`` cycle, so fault-campaign results can
+        be stored as artifacts and re-analysed without re-running the BIST.
+        """
+        return {"outcomes": [outcome.to_dict() for outcome in self.outcomes]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignExecution":
+        """Rebuild an execution serialized with :meth:`to_dict`."""
+        return cls(
+            outcomes=tuple(ScenarioOutcome.from_dict(outcome) for outcome in data["outcomes"])
+        )
 
 
 @dataclass(frozen=True)
@@ -515,6 +556,7 @@ class ScenarioGrid:
         converter_axis = self._converters or [_Axis(label=None, value=None)]
         scenarios = []
         labels = set()
+        duplicates = []
         for profile_point in self._profiles:
             for impairment_point in impairment_axis:
                 for converter_point in converter_axis:
@@ -525,9 +567,8 @@ class ScenarioGrid:
                         parts.append(converter_point.label)
                     label = "/".join(parts)
                     if label in labels:
-                        raise ValidationError(
-                            f"duplicate scenario label {label!r}; axis labels must be unique"
-                        )
+                        duplicates.append(label)
+                        continue
                     labels.add(label)
                     scenarios.append(
                         CampaignScenario(
@@ -538,20 +579,41 @@ class ScenarioGrid:
                             converter=converter_point.value,
                         )
                     )
+        if duplicates:
+            # Ambiguous campaign rows would make outcome labels (and hence
+            # fault-dictionary keys) collide silently; refuse loudly instead.
+            shown = ", ".join(repr(label) for label in sorted(set(duplicates)))
+            raise ConfigurationError(
+                f"scenario grid produced {len(duplicates)} duplicate label(s): {shown}; "
+                "every (profile, impairment, converter) axis point needs a unique label "
+                "— rename the colliding axis entries (e.g. include the parameter value "
+                "in the label) so each campaign row stays addressable"
+            )
         return tuple(scenarios)
 
 
 # --------------------------------------------------------------------------- #
 # Sweep helpers: labelled axis values for the common fault dimensions
+#
+# These are thin wrappers over the first-class fault models of
+# :mod:`repro.faults.models`: each helper parameterises the matching family
+# at its exact physical value (severity 1 with nominal == worst) and lets the
+# model inject itself, so grids and fault campaigns share one injection path.
+# The fault-model imports are deferred to the function bodies because
+# ``repro.faults`` itself builds on this module's :class:`CampaignRunner`.
 # --------------------------------------------------------------------------- #
 def pa_saturation_sweep(saturation_amplitudes, smoothness: float = 2.0) -> list[tuple]:
     """PA-compression fault axis: Rapp amplifiers at decreasing headroom."""
+    from ..faults.models import PaCompressionFault
+
     return [
         (
             f"pa-sat-{amplitude:g}",
-            ImpairmentConfig().with_amplifier(
-                RappAmplifier(gain_db=0.0, saturation_amplitude=amplitude, smoothness=smoothness)
-            ),
+            PaCompressionFault(
+                nominal_saturation=amplitude,
+                worst_saturation=amplitude,
+                smoothness=smoothness,
+            ).apply_transmitter(ImpairmentConfig()),
         )
         for amplitude in saturation_amplitudes
     ]
@@ -559,14 +621,14 @@ def pa_saturation_sweep(saturation_amplitudes, smoothness: float = 2.0) -> list[
 
 def iq_imbalance_sweep(points) -> list[tuple]:
     """IQ-imbalance fault axis from ``(gain_db, phase_deg)`` pairs."""
+    from ..faults.models import IqImbalanceFault
+
     return [
         (
             f"iq-{gain_db:g}dB-{phase_deg:g}deg",
-            ImpairmentConfig(
-                iq_imbalance=IqImbalance(
-                    gain_imbalance_db=gain_db, phase_imbalance_deg=phase_deg
-                )
-            ),
+            IqImbalanceFault(
+                max_gain_imbalance_db=gain_db, max_phase_imbalance_deg=phase_deg
+            ).apply_transmitter(ImpairmentConfig()),
         )
         for gain_db, phase_deg in points
     ]
@@ -574,37 +636,54 @@ def iq_imbalance_sweep(points) -> list[tuple]:
 
 def dc_offset_sweep(offsets) -> list[tuple]:
     """LO-leakage fault axis: I-branch DC offsets."""
+    from ..faults.models import LoLeakageFault
+
     return [
-        (f"dc-{offset:g}", ImpairmentConfig(dc_offset=DcOffset(i_offset=offset)))
+        (
+            f"dc-{offset:g}",
+            LoLeakageFault(max_i_offset=offset).apply_transmitter(ImpairmentConfig()),
+        )
         for offset in offsets
     ]
 
 
 def skew_sweep(skews_seconds, base: ConverterSpec | None = None) -> list[tuple]:
     """Converter fault axis: channel-1 static skew values."""
+    from ..faults.models import TiadcSkewFault
+
     base = base if base is not None else ConverterSpec()
     return [
-        (f"skew-{skew * 1e12:g}ps", replace(base, channel1_skew_seconds=skew))
+        (
+            f"skew-{skew * 1e12:g}ps",
+            TiadcSkewFault(max_skew_seconds=skew).apply_converter(base),
+        )
         for skew in skews_seconds
     ]
 
 
 def dcde_error_sweep(errors_seconds, base: ConverterSpec | None = None) -> list[tuple]:
     """Converter fault axis: DCDE static (programmed-vs-real) delay errors."""
+    from ..faults.models import DcdeErrorFault
+
     base = base if base is not None else ConverterSpec()
     return [
-        (f"dcde-{error * 1e12:g}ps", replace(base, dcde_static_error_seconds=error))
+        (
+            f"dcde-{error * 1e12:g}ps",
+            DcdeErrorFault(max_static_error_seconds=error).apply_converter(base),
+        )
         for error in errors_seconds
     ]
 
 
 def channel_mismatch_sweep(points, base: ConverterSpec | None = None) -> list[tuple]:
     """Converter fault axis: ``(gain_error, offset)`` static mismatch pairs."""
+    from ..faults.models import TiadcMismatchFault
+
     base = base if base is not None else ConverterSpec()
     return [
         (
             f"mismatch-g{gain_error:g}-o{offset:g}",
-            replace(base, channel1_gain_error=gain_error, channel1_offset=offset),
+            TiadcMismatchFault(max_gain_error=gain_error, max_offset=offset).apply_converter(base),
         )
         for gain_error, offset in points
     ]

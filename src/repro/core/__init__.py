@@ -13,6 +13,10 @@ from ..bist.engine import BistConfig, TransmitterBist
 from ..bist.report import BistReport, CampaignSummary
 from ..bist.runner import CampaignRunner, ScenarioGrid
 from ..calibration.cost import SkewCostFunction
+from ..faults.coverage import FaultDictionary, TestLimits
+from ..faults.injection import FaultCampaign
+from ..faults.models import FaultModel, fault_grid
+from ..faults.report import FaultCoverageReport
 from ..calibration.lms import LmsSkewEstimator
 from ..calibration.sine_fit import SineFitSkewEstimator
 from ..sampling.bandpass import BandpassBand
@@ -39,6 +43,12 @@ __all__ = [
     "CampaignRunner",
     "ScenarioGrid",
     "SkewCostFunction",
+    "FaultCampaign",
+    "FaultCoverageReport",
+    "FaultDictionary",
+    "FaultModel",
+    "TestLimits",
+    "fault_grid",
     "LmsSkewEstimator",
     "SineFitSkewEstimator",
     "BandpassBand",

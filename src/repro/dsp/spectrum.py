@@ -75,6 +75,25 @@ class SpectrumEstimate:
         with np.errstate(divide="ignore"):
             return 10.0 * np.log10(self.psd / peak)
 
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`)."""
+        return {
+            "frequencies_hz": self.frequencies_hz.tolist(),
+            "psd": self.psd.tolist(),
+            "resolution_hz": float(self.resolution_hz),
+            "two_sided": bool(self.two_sided),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpectrumEstimate":
+        """Rebuild an estimate serialized with :meth:`to_dict`."""
+        return cls(
+            frequencies_hz=np.asarray(data["frequencies_hz"], dtype=float),
+            psd=np.asarray(data["psd"], dtype=float),
+            resolution_hz=float(data["resolution_hz"]),
+            two_sided=bool(data["two_sided"]),
+        )
+
 
 def periodogram(
     samples,

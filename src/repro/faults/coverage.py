@@ -1,0 +1,523 @@
+"""Fault dictionary, detection metrics and the escape/yield Monte Carlo.
+
+This module turns raw campaign outcomes into the numbers a production test
+engineer actually asks for:
+
+* a :class:`FaultSignature` per BIST execution — the measurement vector the
+  test limits are evaluated against (EVM, worst ACPR, OBW, mask margin,
+  and the deviation of the estimated inter-channel delay from the
+  programmed one);
+* a :class:`TestLimits` set — by default the BIST's own per-profile verdict,
+  optionally tightened with explicit global bounds (including the
+  skew-deviation bound that catches acquisition-side timing faults the
+  calibration would otherwise silently absorb);
+* a :class:`FaultDictionary` mapping every fault point to its signature
+  population and the fault-free reference population, from which it
+  computes per-fault detection probabilities, overall fault coverage,
+  the false-alarm rate, and — via a seeded Monte Carlo that resamples the
+  good/faulty populations against the limit set — the test-escape and
+  yield-loss rates.
+
+Every estimator is deterministic under a fixed seed, and the populations
+come from the deterministic campaign runner, so serial and parallel
+campaigns yield bit-identical dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from ..bist.report import Verdict
+from ..errors import ValidationError
+from ..utils.validation import check_integer, check_probability
+from .injection import REFERENCE_FAMILY, FaultCampaignResult, FaultPoint
+from .models import FAULT_FAMILIES, FaultModel
+
+__all__ = [
+    "FaultSignature",
+    "TestLimits",
+    "FaultRecord",
+    "CoverageResult",
+    "EscapeYieldEstimate",
+    "FaultDictionary",
+]
+
+
+@dataclass(frozen=True)
+class FaultSignature:
+    """Measurement signature of one BIST execution.
+
+    Attributes
+    ----------
+    label:
+        The scenario label the signature came from.
+    profile_name:
+        The waveform profile (``None`` when the scenario errored before
+        producing a report).
+    executed:
+        Whether the scenario produced a report at all.
+    bist_failed:
+        Whether the BIST's own per-profile verdict was FAIL.
+    evm_percent, acpr_worst_db, occupied_bandwidth_hz, mask_margin_db:
+        The individual measurements (``None`` when skipped / unavailable).
+    skew_deviation_ps:
+        ``|estimated - programmed|`` inter-channel delay, in ps — the only
+        DSP-visible trace of acquisition-side timing faults.
+    error:
+        The captured error string for scenarios that raised.
+    """
+
+    label: str
+    profile_name: str | None = None
+    executed: bool = True
+    bist_failed: bool = False
+    evm_percent: float | None = None
+    acpr_worst_db: float | None = None
+    occupied_bandwidth_hz: float | None = None
+    mask_margin_db: float | None = None
+    skew_deviation_ps: float | None = None
+    error: str | None = None
+
+    @classmethod
+    def from_outcome(cls, outcome) -> "FaultSignature":
+        """Extract the signature from a runner :class:`ScenarioOutcome`."""
+        if outcome.report is None:
+            return cls(label=outcome.label, executed=False, error=outcome.error)
+        report = outcome.report
+        calibration = report.calibration
+        try:
+            mask_margin = report.check("spectral_mask").measured
+        except ValidationError:
+            mask_margin = None
+        return cls(
+            label=outcome.label,
+            profile_name=report.profile_name,
+            executed=True,
+            bist_failed=report.verdict is Verdict.FAIL,
+            evm_percent=report.measurements.evm_percent,
+            acpr_worst_db=float(report.measurements.acpr_db["worst_db"]),
+            occupied_bandwidth_hz=float(report.measurements.occupied_bandwidth_hz),
+            mask_margin_db=None if mask_margin is None else float(mask_margin),
+            skew_deviation_ps=abs(
+                calibration.estimated_delay_seconds - calibration.programmed_delay_seconds
+            )
+            * 1e12,
+            error=None,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSignature":
+        """Rebuild a signature serialized with :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TestLimits:
+    """The limit set a unit is screened against.
+
+    ``use_bist_verdict`` keeps the BIST's own per-profile pass/fail checks
+    (ACPR / OBW / EVM / spectral mask against the active
+    :class:`~repro.signals.standards.WaveformProfile` limits) as the
+    baseline screen; the explicit bounds tighten it globally.  A scenario
+    that errored is flagged when ``flag_errors`` is set (a unit that crashes
+    the test program does not ship).
+    """
+
+    #: Tell pytest this production class is not a test case.
+    __test__ = False
+
+    use_bist_verdict: bool = True
+    max_evm_percent: float | None = None
+    max_acpr_db: float | None = None
+    max_occupied_bandwidth_hz: float | None = None
+    min_mask_margin_db: float | None = None
+    max_skew_deviation_ps: float | None = None
+    flag_errors: bool = True
+
+    def flags(self, signature: FaultSignature) -> bool:
+        """Whether the limit set rejects the unit behind this signature."""
+        if not isinstance(signature, FaultSignature):
+            raise ValidationError("signature must be a FaultSignature")
+        if not signature.executed:
+            return self.flag_errors
+        if self.use_bist_verdict and signature.bist_failed:
+            return True
+        if (
+            self.max_evm_percent is not None
+            and signature.evm_percent is not None
+            and signature.evm_percent > self.max_evm_percent
+        ):
+            return True
+        if (
+            self.max_acpr_db is not None
+            and signature.acpr_worst_db is not None
+            and signature.acpr_worst_db > self.max_acpr_db
+        ):
+            return True
+        if (
+            self.max_occupied_bandwidth_hz is not None
+            and signature.occupied_bandwidth_hz is not None
+            and signature.occupied_bandwidth_hz > self.max_occupied_bandwidth_hz
+        ):
+            return True
+        if (
+            self.min_mask_margin_db is not None
+            and signature.mask_margin_db is not None
+            and signature.mask_margin_db < self.min_mask_margin_db
+        ):
+            return True
+        if (
+            self.max_skew_deviation_ps is not None
+            and signature.skew_deviation_ps is not None
+            and signature.skew_deviation_ps > self.max_skew_deviation_ps
+        ):
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TestLimits":
+        """Rebuild limits serialized with :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One dictionary entry: a fault point and its signature population."""
+
+    point: FaultPoint
+    signatures: tuple
+
+    def detection_probability(self, limits: TestLimits) -> float:
+        """Fraction of the point's executions the limit set flags."""
+        if not self.signatures:
+            raise ValidationError(f"fault point {self.point.label!r} has no signatures")
+        flagged = sum(limits.flags(signature) for signature in self.signatures)
+        return flagged / len(self.signatures)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {
+            "point": self.point.describe(),
+            "signatures": [signature.to_dict() for signature in self.signatures],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRecord":
+        """Rebuild a record serialized with :meth:`to_dict`."""
+        point_data = data["point"]
+        fault_data = point_data["fault"]
+        fault_cls = FAULT_FAMILIES.get(fault_data["family"])
+        if fault_cls is None or fault_cls.__name__ != fault_data["type"]:
+            raise ValidationError(
+                f"cannot rebuild fault of family {fault_data['family']!r} / type "
+                f"{fault_data['type']!r}; register the family first"
+            )
+        point = FaultPoint(
+            label=point_data["label"],
+            profile_name=point_data["profile"],
+            fault=fault_cls(**fault_data["params"]),
+        )
+        return cls(
+            point=point,
+            signatures=tuple(FaultSignature.from_dict(s) for s in data["signatures"]),
+        )
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Fault coverage of a limit set over a dictionary.
+
+    A fault point is *covered* when its detection probability reaches
+    ``detection_threshold``; *marginal* detection (strictly between 0 and 1)
+    means the verdict depends on the measurement-noise realisation — those
+    points sit on the detectability boundary and deserve a tightened limit
+    or a longer acquisition.
+    """
+
+    detection_threshold: float
+    covered: tuple
+    uncovered: tuple
+    marginal: tuple
+    probabilities: dict
+
+    @property
+    def num_points(self) -> int:
+        """Total number of fault points considered."""
+        return len(self.covered) + len(self.uncovered)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of fault points covered at the threshold."""
+        return len(self.covered) / self.num_points
+
+    @property
+    def weighted_coverage(self) -> float:
+        """Mean detection probability over all fault points."""
+        return float(np.mean([self.probabilities[label] for label in self.probabilities]))
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary."""
+        return {
+            "detection_threshold": self.detection_threshold,
+            "coverage": self.coverage,
+            "weighted_coverage": self.weighted_coverage,
+            "covered": list(self.covered),
+            "uncovered": list(self.uncovered),
+            "marginal": list(self.marginal),
+            "probabilities": dict(self.probabilities),
+        }
+
+
+@dataclass(frozen=True)
+class EscapeYieldEstimate:
+    """Monte Carlo test-escape / yield-loss numbers for one limit set.
+
+    Attributes
+    ----------
+    fault_probability:
+        Assumed defect prevalence (probability a manufactured unit carries
+        one of the dictionary's faults, uniformly over fault points).
+    num_trials:
+        Monte Carlo sample size.
+    test_escape_rate:
+        Fraction of *shipped* (test-passing) units that are actually faulty
+        — the defect level seen by the customer.
+    yield_loss_rate:
+        Fraction of *good* units the limit set rejects — production yield
+        thrown away to false alarms.
+    faulty_pass_rate:
+        Probability a faulty unit passes the screen (1 - effective
+        coverage per unit).
+    num_faulty, num_good, num_faulty_passed, num_good_failed, num_passed:
+        Raw Monte Carlo counters.
+    seed:
+        The seed the estimate was drawn with (kept for reproducibility).
+    """
+
+    fault_probability: float
+    num_trials: int
+    test_escape_rate: float
+    yield_loss_rate: float
+    faulty_pass_rate: float
+    num_faulty: int
+    num_good: int
+    num_faulty_passed: int
+    num_good_failed: int
+    num_passed: int
+    seed: int
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+@dataclass(frozen=True)
+class FaultDictionary:
+    """Fault points mapped to signatures, plus the good-unit population.
+
+    Attributes
+    ----------
+    records:
+        One :class:`FaultRecord` per fault point, in campaign order.
+    references:
+        Fault-free signatures (all profiles pooled; each signature retains
+        its profile name).
+    """
+
+    records: tuple
+    references: tuple
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValidationError("a fault dictionary needs at least one fault record")
+        if not self.references:
+            raise ValidationError(
+                "a fault dictionary needs a fault-free reference population"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_campaign(cls, result: FaultCampaignResult) -> "FaultDictionary":
+        """Aggregate an executed :class:`FaultCampaign` into a dictionary."""
+        if not isinstance(result, FaultCampaignResult):
+            raise ValidationError("result must be a FaultCampaignResult")
+        by_label: dict[str, list[FaultSignature]] = {}
+        references: list[FaultSignature] = []
+        for outcome in result.execution.outcomes:
+            signature = FaultSignature.from_outcome(outcome)
+            base_label, _, repeat = outcome.label.rpartition("/r")
+            if not repeat.isdigit():
+                base_label = outcome.label
+            if f"/{REFERENCE_FAMILY}" in base_label:
+                references.append(signature)
+            else:
+                by_label.setdefault(base_label, []).append(signature)
+        records = []
+        for point in result.points:
+            signatures = by_label.get(point.label, [])
+            if not signatures:
+                raise ValidationError(
+                    f"campaign produced no outcomes for fault point {point.label!r}"
+                )
+            records.append(FaultRecord(point=point, signatures=tuple(signatures)))
+        return cls(records=tuple(records), references=tuple(references))
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def labels(self) -> list[str]:
+        """Fault-point labels, in campaign order."""
+        return [record.point.label for record in self.records]
+
+    def record(self, label: str) -> FaultRecord:
+        """Look up one fault record by its point label."""
+        for record in self.records:
+            if record.point.label == label:
+                return record
+        raise ValidationError(f"no fault point labelled {label!r} in this dictionary")
+
+    def references_for(self, profile_name: str) -> tuple:
+        """The reference signatures of one profile."""
+        return tuple(s for s in self.references if s.profile_name == profile_name)
+
+    # ------------------------------------------------------------------ #
+    # Detection analytics
+    # ------------------------------------------------------------------ #
+    def detection_probability(self, label: str, limits: TestLimits | None = None) -> float:
+        """Detection probability of one fault point under a limit set."""
+        limits = limits if limits is not None else TestLimits()
+        return self.record(label).detection_probability(limits)
+
+    def false_alarm_rate(self, limits: TestLimits | None = None) -> float:
+        """Fraction of the fault-free population the limit set rejects."""
+        limits = limits if limits is not None else TestLimits()
+        flagged = sum(limits.flags(signature) for signature in self.references)
+        return flagged / len(self.references)
+
+    def coverage(
+        self,
+        limits: TestLimits | None = None,
+        detection_threshold: float = 0.5,
+    ) -> CoverageResult:
+        """Fault coverage of the limit set at a detection threshold."""
+        limits = limits if limits is not None else TestLimits()
+        detection_threshold = check_probability(detection_threshold, "detection_threshold")
+        probabilities = {
+            record.point.label: record.detection_probability(limits)
+            for record in self.records
+        }
+        covered = tuple(
+            label for label, p in probabilities.items() if p >= detection_threshold and p > 0.0
+        )
+        uncovered = tuple(label for label in probabilities if label not in covered)
+        marginal = tuple(label for label, p in probabilities.items() if 0.0 < p < 1.0)
+        return CoverageResult(
+            detection_threshold=detection_threshold,
+            covered=covered,
+            uncovered=uncovered,
+            marginal=marginal,
+            probabilities=probabilities,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Escape / yield Monte Carlo
+    # ------------------------------------------------------------------ #
+    def monte_carlo(
+        self,
+        limits: TestLimits | None = None,
+        fault_probability: float = 0.05,
+        num_trials: int = 20000,
+        seed: int = 20140324,
+    ) -> EscapeYieldEstimate:
+        """Resample good/faulty populations against the limits.
+
+        Each trial manufactures a unit: faulty with ``fault_probability``
+        (the fault point drawn uniformly, its signature drawn uniformly from
+        that point's repeats — i.e. a fresh measurement-noise realisation),
+        good otherwise (signature drawn from the reference population).  The
+        unit ships when the limit set does not flag its signature.
+
+        Returns a deterministic-under-seed :class:`EscapeYieldEstimate`.
+        """
+        limits = limits if limits is not None else TestLimits()
+        fault_probability = check_probability(fault_probability, "fault_probability")
+        num_trials = check_integer(num_trials, "num_trials", minimum=1)
+
+        # Pre-evaluate the limit set over both populations once.
+        record_flags = [
+            np.array([limits.flags(s) for s in record.signatures], dtype=bool)
+            for record in self.records
+        ]
+        reference_flags = np.array([limits.flags(s) for s in self.references], dtype=bool)
+
+        rng = np.random.default_rng(seed)
+        faulty = rng.random(num_trials) < fault_probability
+        num_faulty = int(np.count_nonzero(faulty))
+        num_good = num_trials - num_faulty
+
+        # Faulty units: uniform fault point, then uniform repeat within it.
+        record_choice = rng.integers(0, len(self.records), size=num_faulty)
+        repeat_draw = rng.random(num_faulty)
+        faulty_flagged = np.zeros(num_faulty, dtype=bool)
+        for index, flags in enumerate(record_flags):
+            mask = record_choice == index
+            if not np.any(mask):
+                continue
+            picks = (repeat_draw[mask] * flags.size).astype(int)
+            faulty_flagged[mask] = flags[picks]
+
+        # Good units: uniform draw from the reference population.
+        good_picks = rng.integers(0, reference_flags.size, size=num_good)
+        good_flagged = reference_flags[good_picks]
+
+        num_faulty_passed = int(num_faulty - np.count_nonzero(faulty_flagged))
+        num_good_failed = int(np.count_nonzero(good_flagged))
+        num_passed = num_faulty_passed + (num_good - num_good_failed)
+
+        test_escape_rate = num_faulty_passed / num_passed if num_passed else 0.0
+        yield_loss_rate = num_good_failed / num_good if num_good else 0.0
+        faulty_pass_rate = num_faulty_passed / num_faulty if num_faulty else 0.0
+        return EscapeYieldEstimate(
+            fault_probability=fault_probability,
+            num_trials=num_trials,
+            test_escape_rate=float(test_escape_rate),
+            yield_loss_rate=float(yield_loss_rate),
+            faulty_pass_rate=float(faulty_pass_rate),
+            num_faulty=num_faulty,
+            num_good=num_good,
+            num_faulty_passed=num_faulty_passed,
+            num_good_failed=num_good_failed,
+            num_passed=num_passed,
+            seed=int(seed),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "references": [signature.to_dict() for signature in self.references],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultDictionary":
+        """Rebuild a dictionary serialized with :meth:`to_dict`."""
+        return cls(
+            records=tuple(FaultRecord.from_dict(r) for r in data["records"]),
+            references=tuple(FaultSignature.from_dict(s) for s in data["references"]),
+        )

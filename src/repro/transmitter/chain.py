@@ -99,6 +99,10 @@ class HomodyneTransmitter:
         if not isinstance(config, TransmitterConfig):
             raise ValidationError("config must be a TransmitterConfig")
         self._config = config
+        # Explicit constructor DAC wins; otherwise the impairment configuration
+        # may carry a faulty DAC model (resolution / INL fault injection).
+        if dac is None:
+            dac = config.impairments.dac
         self._dac = dac if dac is not None else TransmitDac()
         self._constellation = get_constellation(config.modulation)
         self._shaper = PulseShaper(
@@ -123,8 +127,10 @@ class HomodyneTransmitter:
             dc_offset=impairments.dc_offset,
             occupied_bandwidth_hz=config.envelope_sample_rate,
         )
+        # The nominal output band-pass tracks the envelope bandwidth; the
+        # impairment scale models a filter whose cutoff has drifted.
         self._output_filter = AnalogBandpass(
-            bandwidth_hz=config.envelope_sample_rate * 0.9,
+            bandwidth_hz=config.envelope_sample_rate * 0.9 * impairments.output_filter_bandwidth_scale,
             centre_offset_hz=0.0,
             order=4,
         )

@@ -23,6 +23,7 @@ from ..rf.impairments import DcOffset, IqImbalance
 from ..rf.oscillator import PhaseNoiseModel
 from ..signals.standards import WaveformProfile
 from ..utils.validation import check_integer, check_positive
+from .dac import TransmitDac
 
 __all__ = ["ImpairmentConfig", "TransmitterConfig"]
 
@@ -72,6 +73,16 @@ class ImpairmentConfig:
     output_snr_db:
         If finite, additive white noise is injected at the PA output to
         produce this in-band SNR; ``None`` disables the noise.
+    dac:
+        Optional transmit-DAC model override.  ``None`` keeps the
+        transmitter's default (transparent 14-bit) DAC; setting it lets a
+        fault campaign inject DAC resolution / INL faults through the same
+        single-object swap as every other impairment.
+    output_filter_bandwidth_scale:
+        Multiplicative drift of the output band-pass filter's bandwidth
+        (1.0 = nominal).  Values well below 1 narrow the filter into the
+        modulated signal and model a baseband/RF filter whose cutoff has
+        drifted low (component ageing, process corner).
     """
 
     amplifier: Amplifier = field(default_factory=lambda: IdealAmplifier(gain_db=0.0))
@@ -79,6 +90,13 @@ class ImpairmentConfig:
     dc_offset: DcOffset = field(default_factory=DcOffset)
     phase_noise: PhaseNoiseModel = field(default_factory=PhaseNoiseModel)
     output_snr_db: float | None = None
+    dac: TransmitDac | None = None
+    output_filter_bandwidth_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.dac is not None and not isinstance(self.dac, TransmitDac):
+            raise ConfigurationError("dac must be a TransmitDac (or None for the default)")
+        check_positive(self.output_filter_bandwidth_scale, "output_filter_bandwidth_scale")
 
     @classmethod
     def ideal(cls) -> "ImpairmentConfig":
@@ -111,6 +129,8 @@ class ImpairmentConfig:
             "dc_offset": _encode_dataclass(self.dc_offset),
             "phase_noise": _encode_dataclass(self.phase_noise),
             "output_snr_db": self.output_snr_db,
+            "dac": None if self.dac is None else _encode_dataclass(self.dac),
+            "output_filter_bandwidth_scale": self.output_filter_bandwidth_scale,
         }
 
     @classmethod
@@ -123,12 +143,15 @@ class ImpairmentConfig:
                 f"unknown amplifier type {type_name!r}; known types: "
                 f"{sorted(_AMPLIFIER_TYPES)}"
             )
+        dac_data = data.get("dac")
         return cls(
             amplifier=_decode_dataclass(_AMPLIFIER_TYPES[type_name], amplifier_data.get("params", {})),
             iq_imbalance=_decode_dataclass(IqImbalance, data.get("iq_imbalance", {})),
             dc_offset=_decode_dataclass(DcOffset, data.get("dc_offset", {})),
             phase_noise=_decode_dataclass(PhaseNoiseModel, data.get("phase_noise", {})),
             output_snr_db=data.get("output_snr_db"),
+            dac=None if dac_data is None else _decode_dataclass(TransmitDac, dac_data),
+            output_filter_bandwidth_scale=data.get("output_filter_bandwidth_scale", 1.0),
         )
 
 

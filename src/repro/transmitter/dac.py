@@ -40,6 +40,12 @@ class TransmitDac:
         Cutoff of the analog reconstruction low-pass; ``None`` disables it.
     reconstruction_order:
         Butterworth order of the reconstruction filter.
+    inl_fraction_lsb:
+        Peak integral nonlinearity of each branch, in LSBs.  Modelled as a
+        smooth half-sine bow ``inl * step * sin(pi * v / full_scale)`` added
+        after quantisation: zero at code zero and at full scale, maximal at
+        mid scale, odd-symmetric around zero so it creates odd-order
+        distortion products.  Negative values flip the bow direction.
     """
 
     resolution_bits: int = 14
@@ -47,6 +53,7 @@ class TransmitDac:
     apply_zero_order_hold_droop: bool = False
     reconstruction_cutoff_hz: float | None = None
     reconstruction_order: int = 5
+    inl_fraction_lsb: float = 0.0
 
     def __post_init__(self) -> None:
         check_integer(self.resolution_bits, "resolution_bits", minimum=1)
@@ -62,7 +69,12 @@ class TransmitDac:
 
     def _quantise_branch(self, values: np.ndarray) -> np.ndarray:
         clipped = np.clip(values, -self.full_scale, self.full_scale - self.step_size)
-        return np.round(clipped / self.step_size) * self.step_size
+        codes = np.round(clipped / self.step_size) * self.step_size
+        if self.inl_fraction_lsb != 0.0:
+            codes = codes + self.inl_fraction_lsb * self.step_size * np.sin(
+                np.pi * codes / self.full_scale
+            )
+        return codes
 
     def convert(self, envelope: ComplexEnvelope) -> ComplexEnvelope:
         """Convert a digital complex envelope to its analog representation."""

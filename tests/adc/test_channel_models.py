@@ -31,6 +31,31 @@ class TestChannelMismatch:
         mismatch = ChannelMismatch(offset=0.5, gain_error=0.1)
         np.testing.assert_allclose(mismatch.apply_static(np.array([1.0, 2.0])), [1.6, 2.7])
 
+    def test_with_input_bandwidth_folds_gain_and_delay(self):
+        # One pole at the reference frequency: |H| = 1/sqrt(2) and the group
+        # delay is (pi/4) / (2 pi f) = 1/(8 f).
+        reference = 1.0e9
+        mismatch = ChannelMismatch().with_input_bandwidth(reference, reference)
+        assert mismatch.gain == pytest.approx(1.0 / np.sqrt(2.0))
+        assert mismatch.skew_seconds == pytest.approx(1.0 / (8.0 * reference))
+
+    def test_with_input_bandwidth_composes_with_existing_mismatch(self):
+        base = ChannelMismatch(gain_error=0.1, skew_seconds=5e-12)
+        folded = base.with_input_bandwidth(1.0e9, 1.0e9)
+        assert folded.gain == pytest.approx(1.1 / np.sqrt(2.0))
+        assert folded.skew_seconds == pytest.approx(5e-12 + 125e-12)
+
+    def test_wide_bandwidth_nearly_transparent(self):
+        mismatch = ChannelMismatch().with_input_bandwidth(1.0e12, 1.0e9)
+        assert mismatch.gain == pytest.approx(1.0, abs=1e-5)
+        assert mismatch.skew_seconds == pytest.approx(0.0, abs=1e-12)
+
+    def test_with_input_bandwidth_validation(self):
+        with pytest.raises(ValidationError):
+            ChannelMismatch().with_input_bandwidth(0.0, 1e9)
+        with pytest.raises(ValidationError):
+            ChannelMismatch().with_input_bandwidth(1e9, -1.0)
+
     def test_negative_jitter_rejected(self):
         with pytest.raises(ValidationError):
             ChannelMismatch(aperture_jitter_rms_seconds=-1e-12)

@@ -28,6 +28,33 @@ class TestDefaultConverter:
         assert converter.channel1.quantizer.resolution_bits == 12
 
 
+class TestConverterSpecBandwidth:
+    def test_bandwidth_folds_into_channel1_mismatch(self):
+        from repro.bist import ConverterSpec
+
+        spec = ConverterSpec(channel1_bandwidth_hz=1.0e9, bandwidth_reference_hz=1.0e9)
+        converter = spec.build(90e6)
+        mismatch = converter.channel1.mismatch
+        assert mismatch.gain == pytest.approx(1.0 / 2.0**0.5)
+        assert mismatch.skew_seconds == pytest.approx(125e-12)
+        # Channel 0 keeps its nominal response.
+        assert converter.channel0.mismatch.is_ideal
+
+    def test_bandwidth_without_reference_rejected(self):
+        from repro.bist import ConverterSpec
+        from repro.errors import ConfigurationError
+
+        spec = ConverterSpec(channel1_bandwidth_hz=1.0e9)
+        with pytest.raises(ConfigurationError):
+            spec.build(90e6)
+
+    def test_no_bandwidth_keeps_legacy_build(self):
+        from repro.bist import ConverterSpec
+
+        nominal = ConverterSpec().build(90e6)
+        assert nominal.channel1.mismatch.is_ideal
+
+
 class TestCampaignScenario:
     def test_profile_resolution_by_name(self):
         scenario = CampaignScenario(profile="paper-qpsk-1ghz")

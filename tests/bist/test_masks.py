@@ -121,3 +121,78 @@ class TestMaskChecking:
         )
         with pytest.raises(MaskError):
             mask.check(narrow, channel_centre_hz=1e9, exclude_in_band_hz=20e6)
+
+
+class TestMaskEdgeCases:
+    def test_zero_width_segment_rejected(self):
+        # Repeated breakpoint offsets would define a zero-width segment with
+        # two limits at the same frequency; the mask must refuse them.
+        with pytest.raises(MaskError):
+            SpectralMask(
+                "zero-width",
+                np.array([0.0, 10e6, 10e6, 20e6]),
+                np.array([0.0, 0.0, -20.0, -30.0]),
+            )
+
+    def test_overlapping_segments_rejected(self):
+        # A breakpoint list that doubles back on itself describes overlapping
+        # segments (two different limits over 5..10 MHz).
+        with pytest.raises(MaskError):
+            SpectralMask(
+                "overlap",
+                np.array([0.0, 10e6, 5e6, 20e6]),
+                np.array([0.0, -10.0, -5.0, -30.0]),
+            )
+
+    def test_near_vertical_step_interpolates_inside_step(self):
+        # A brick-wall edge is modelled by an epsilon-wide segment; limits on
+        # either side of the step must be the breakpoint values.
+        mask = SpectralMask(
+            "step",
+            np.array([0.0, 10e6, 10e6 + 1.0, 20e6]),
+            np.array([0.0, 0.0, -30.0, -30.0]),
+        )
+        assert mask.limit_at(10e6) == pytest.approx(0.0)
+        assert mask.limit_at(10e6 + 1.0) == pytest.approx(-30.0)
+        assert mask.limit_at(15e6) == pytest.approx(-30.0)
+
+    def test_spectrum_entirely_inside_exempt_band_rejected(self):
+        # The grid spans the mask frequencies but every bin sits inside the
+        # in-band exemption: nothing is actually checkable.
+        narrow = synthetic_spectrum(span_hz=12e6)  # bins within +/- 6 MHz
+        mask = simple_mask()  # exemption reaches the first negative limit at 10 MHz
+        with pytest.raises(MaskError):
+            mask.check(narrow, channel_centre_hz=1e9)
+
+    def test_spectrum_partially_spanning_mask_checks_covered_bins_only(self):
+        # Grid reaches 15 MHz offsets, mask extends to 40 MHz: the overlap
+        # (10..15 MHz) is checked and bins beyond the grid are simply absent.
+        partial = synthetic_spectrum(span_hz=30e6)
+        result = simple_mask().check(partial, channel_centre_hz=1e9)
+        assert abs(result.worst_offset_hz) <= 15e6 + 1e3
+        for violation in result.violations:
+            assert abs(violation.frequency_offset_hz) <= 15e6 + 1e3
+
+    def test_grid_beyond_mask_span_is_ignored(self):
+        # Bins past the last breakpoint are outside the mask's jurisdiction
+        # even if they would violate the final limit.
+        wide = synthetic_spectrum(span_hz=200e6)
+        mask = SpectralMask(
+            "short-span",
+            np.array([0.0, 10e6, 20e6]),
+            np.array([0.0, -5.0, -10.0]),
+        )
+        result = mask.check(wide, channel_centre_hz=1e9)
+        assert abs(result.worst_offset_hz) <= 20e6 + 1e3
+        for violation in result.violations:
+            assert abs(violation.frequency_offset_hz) <= 20e6 + 1e3
+
+    def test_result_round_trip(self):
+        import json
+
+        from repro.bist import MaskCheckResult
+
+        result = simple_mask().check(synthetic_spectrum(), channel_centre_hz=1e9)
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = MaskCheckResult.from_dict(payload)
+        assert rebuilt == result

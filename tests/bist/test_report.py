@@ -117,3 +117,30 @@ class TestBistReport:
         assert as_dict["verdict"] == "fail"
         assert as_dict["checks"]["acpr"]["measured"] == pytest.approx(-30.0)
         assert as_dict["calibration"]["iterations"] == 12
+
+    def test_from_dict_rebuilds_identical_report(self):
+        import json
+
+        report = make_report(
+            [
+                CheckResult("acpr", Verdict.FAIL, measured=-30.0, limit=-35.0, details="worst"),
+                CheckResult("evm", Verdict.SKIPPED),
+            ]
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        rebuilt = BistReport.from_dict(payload)
+        assert rebuilt.profile_name == report.profile_name
+        assert rebuilt.verdict is report.verdict
+        assert rebuilt.calibration == report.calibration
+        assert rebuilt.checks == report.checks
+        assert rebuilt.measurements.acpr_db == report.measurements.acpr_db
+        assert np.array_equal(
+            rebuilt.measurements.spectrum.psd, report.measurements.spectrum.psd
+        )
+        # The archive format is stable under a second cycle.
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_calibration_round_trip_is_exact(self):
+        calibration = dummy_calibration()
+        rebuilt = SkewCalibrationReport.from_dict(calibration.to_dict())
+        assert rebuilt == calibration

@@ -144,8 +144,20 @@ class TestScenarioGrid:
             .add_impairment("dup", ImpairmentConfig())
             .add_impairment("dup", ImpairmentConfig())
         )
-        with pytest.raises(ValidationError):
+        with pytest.raises(ConfigurationError, match="duplicate label.*'paper-qpsk-1ghz/dup'"):
             grid.build()
+
+    def test_duplicate_error_lists_every_collision(self):
+        grid = (
+            ScenarioGrid()
+            .add_profiles("paper-qpsk-1ghz", "uhf-8psk-400mhz")
+            .add_impairment("dup", ImpairmentConfig())
+            .add_impairment("dup", ImpairmentConfig())
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            grid.build()
+        assert "paper-qpsk-1ghz/dup" in str(excinfo.value)
+        assert "uhf-8psk-400mhz/dup" in str(excinfo.value)
 
     def test_empty_profile_axis_rejected(self):
         with pytest.raises(ValidationError):
@@ -226,6 +238,32 @@ class TestRunnerExecution:
         # The shared policy uses one seed for everything; per-scenario must not.
         shared = CampaignRunner(max_workers=1, bist_config=FAST_CONFIG).run(scenarios)
         assert not reports_identical(first.reports[0], shared.reports[0])
+
+    def test_execution_to_dict_round_trip(self):
+        import json
+
+        from repro.bist import CampaignExecution, ScenarioOutcome
+
+        scenarios = [
+            CampaignScenario(profile="paper-qpsk-1ghz", label="good"),
+            CampaignScenario(profile="no-such-profile", label="bad"),
+        ]
+        execution = CampaignRunner(bist_config=FAST_CONFIG).run(scenarios)
+        payload = json.loads(json.dumps(execution.to_dict()))
+        rebuilt = CampaignExecution.from_dict(payload)
+        # The archive preserves successes and captured errors alike, exactly.
+        assert rebuilt.to_dict() == execution.to_dict()
+        assert [outcome.label for outcome in rebuilt.outcomes] == ["good", "bad"]
+        assert rebuilt.outcomes[0].ok and not rebuilt.outcomes[1].ok
+        assert rebuilt.errors == execution.errors
+        assert np.array_equal(
+            rebuilt.outcomes[0].report.measurements.spectrum.psd,
+            execution.outcomes[0].report.measurements.spectrum.psd,
+        )
+        assert rebuilt.summary().to_dict() == execution.summary().to_dict()
+        # A single outcome round-trips through its own pair as well.
+        outcome = execution.outcomes[0]
+        assert ScenarioOutcome.from_dict(outcome.to_dict()).to_dict() == outcome.to_dict()
 
     def test_error_isolation(self):
         scenarios = [

@@ -1,0 +1,277 @@
+"""Tests for repro.faults.coverage and repro.faults.report.
+
+These tests build the dictionary from synthetic signatures, so the
+detection / coverage / escape / yield arithmetic is pinned down exactly and
+independently of the (slow) BIST execution path.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults import (
+    CoverageResult,
+    DcdeErrorFault,
+    FaultCoverageReport,
+    FaultDictionary,
+    FaultPoint,
+    FaultRecord,
+    FaultSignature,
+    PaCompressionFault,
+    TestLimits,
+    TiadcSkewFault,
+)
+
+PROFILE = "paper-qpsk-1ghz"
+
+
+def signature(label, failed=False, evm=3.0, acpr=-43.0, obw=14e6, mask=5.0, skew=2.0, executed=True, error=None):
+    return FaultSignature(
+        label=label,
+        profile_name=PROFILE if executed else None,
+        executed=executed,
+        bist_failed=failed,
+        evm_percent=evm,
+        acpr_worst_db=acpr,
+        occupied_bandwidth_hz=obw,
+        mask_margin_db=mask,
+        skew_deviation_ps=skew,
+        error=error,
+    )
+
+
+def record(fault, label, flags):
+    """A record whose repeats fail the BIST according to ``flags``."""
+    return FaultRecord(
+        point=FaultPoint(label=f"{PROFILE}/{label}", profile_name=PROFILE, fault=fault),
+        signatures=tuple(
+            signature(f"{PROFILE}/{label}/r{i}", failed=flag) for i, flag in enumerate(flags)
+        ),
+    )
+
+
+def make_dictionary():
+    """3 faults: always detected, marginal (1/2), never detected."""
+    return FaultDictionary(
+        records=(
+            record(PaCompressionFault(severity=1.0), "pa-compression-s1", [True, True]),
+            record(PaCompressionFault(severity=0.5), "pa-compression-s0.5", [True, False]),
+            record(DcdeErrorFault(severity=1.0), "dcde-error-s1", [False, False]),
+        ),
+        references=tuple(signature(f"{PROFILE}/reference/r{i}") for i in range(4)),
+    )
+
+
+class TestTestLimits:
+    def test_default_uses_bist_verdict(self):
+        limits = TestLimits()
+        assert limits.flags(signature("x", failed=True))
+        assert not limits.flags(signature("x", failed=False))
+
+    def test_explicit_bounds_tighten(self):
+        limits = TestLimits(max_evm_percent=2.0)
+        assert limits.flags(signature("x", evm=3.0))
+        limits = TestLimits(max_acpr_db=-45.0)
+        assert limits.flags(signature("x", acpr=-43.0))
+        limits = TestLimits(max_occupied_bandwidth_hz=10e6)
+        assert limits.flags(signature("x", obw=14e6))
+        limits = TestLimits(min_mask_margin_db=6.0)
+        assert limits.flags(signature("x", mask=5.0))
+        limits = TestLimits(max_skew_deviation_ps=1.0)
+        assert limits.flags(signature("x", skew=2.0))
+
+    def test_missing_measurements_do_not_flag(self):
+        limits = TestLimits(max_evm_percent=2.0)
+        assert not limits.flags(signature("x", evm=None))
+
+    def test_errored_scenarios_flagged_by_default(self):
+        errored = signature("x", executed=False, error="boom")
+        assert TestLimits().flags(errored)
+        assert not TestLimits(flag_errors=False).flags(errored)
+
+    def test_round_trip(self):
+        limits = TestLimits(max_skew_deviation_ps=20.0, max_evm_percent=8.0)
+        assert TestLimits.from_dict(json.loads(json.dumps(limits.to_dict()))) == limits
+
+
+class TestDetectionAndCoverage:
+    def test_detection_probability(self):
+        dictionary = make_dictionary()
+        assert dictionary.detection_probability(f"{PROFILE}/pa-compression-s1") == 1.0
+        assert dictionary.detection_probability(f"{PROFILE}/pa-compression-s0.5") == 0.5
+        assert dictionary.detection_probability(f"{PROFILE}/dcde-error-s1") == 0.0
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValidationError):
+            make_dictionary().detection_probability("nope")
+
+    def test_coverage_classification(self):
+        coverage = make_dictionary().coverage(detection_threshold=0.5)
+        assert isinstance(coverage, CoverageResult)
+        assert set(coverage.covered) == {
+            f"{PROFILE}/pa-compression-s1",
+            f"{PROFILE}/pa-compression-s0.5",
+        }
+        assert set(coverage.uncovered) == {f"{PROFILE}/dcde-error-s1"}
+        assert set(coverage.marginal) == {f"{PROFILE}/pa-compression-s0.5"}
+        assert coverage.coverage == pytest.approx(2.0 / 3.0)
+        assert coverage.weighted_coverage == pytest.approx((1.0 + 0.5 + 0.0) / 3.0)
+
+    def test_undetectable_fault_reported_uncovered_at_any_threshold(self):
+        dictionary = make_dictionary()
+        for threshold in (0.0, 0.5, 1.0):
+            coverage = dictionary.coverage(detection_threshold=threshold)
+            assert f"{PROFILE}/dcde-error-s1" in coverage.uncovered
+
+    def test_false_alarm_rate(self):
+        dictionary = FaultDictionary(
+            records=(record(PaCompressionFault(), "pa-compression-s1", [True]),),
+            references=(
+                signature("r0"),
+                signature("r1", failed=True),
+                signature("r2"),
+                signature("r3"),
+            ),
+        )
+        assert dictionary.false_alarm_rate() == pytest.approx(0.25)
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultDictionary(records=(), references=(signature("r0"),))
+        with pytest.raises(ValidationError):
+            FaultDictionary(
+                records=(record(PaCompressionFault(), "pa", [True]),), references=()
+            )
+
+
+class TestMonteCarlo:
+    def test_deterministic_under_seed(self):
+        dictionary = make_dictionary()
+        a = dictionary.monte_carlo(seed=7)
+        b = dictionary.monte_carlo(seed=7)
+        assert a == b
+        c = dictionary.monte_carlo(seed=8)
+        assert c != a
+
+    def test_perfect_screen_has_no_escapes(self):
+        dictionary = FaultDictionary(
+            records=(record(PaCompressionFault(), "pa-compression-s1", [True, True]),),
+            references=tuple(signature(f"r{i}") for i in range(4)),
+        )
+        estimate = dictionary.monte_carlo(fault_probability=0.2, num_trials=5000)
+        assert estimate.test_escape_rate == 0.0
+        assert estimate.yield_loss_rate == 0.0
+        assert estimate.num_faulty + estimate.num_good == 5000
+
+    def test_blind_screen_escapes_at_prevalence(self):
+        dictionary = FaultDictionary(
+            records=(record(DcdeErrorFault(), "dcde-error-s1", [False, False]),),
+            references=tuple(signature(f"r{i}") for i in range(4)),
+        )
+        estimate = dictionary.monte_carlo(fault_probability=0.1, num_trials=20000)
+        # Nothing is ever flagged: every faulty unit ships, so the escape
+        # rate equals the realised prevalence and no yield is lost.
+        assert estimate.faulty_pass_rate == 1.0
+        assert estimate.yield_loss_rate == 0.0
+        assert estimate.test_escape_rate == pytest.approx(0.1, abs=0.02)
+
+    def test_false_alarms_cost_yield(self):
+        dictionary = FaultDictionary(
+            records=(record(PaCompressionFault(), "pa-compression-s1", [True]),),
+            references=(signature("r0", failed=True), signature("r1"), signature("r2"), signature("r3")),
+        )
+        estimate = dictionary.monte_carlo(fault_probability=0.0, num_trials=20000)
+        assert estimate.yield_loss_rate == pytest.approx(0.25, abs=0.02)
+
+    def test_validation(self):
+        dictionary = make_dictionary()
+        with pytest.raises(ValidationError):
+            dictionary.monte_carlo(fault_probability=1.5)
+        with pytest.raises(ValidationError):
+            dictionary.monte_carlo(num_trials=0)
+
+
+class TestSerialization:
+    def test_dictionary_round_trip(self):
+        dictionary = make_dictionary()
+        payload = json.loads(json.dumps(dictionary.to_dict()))
+        rebuilt = FaultDictionary.from_dict(payload)
+        assert rebuilt == dictionary
+
+    def test_signature_round_trip(self):
+        original = signature("x", failed=True, evm=None)
+        assert FaultSignature.from_dict(json.loads(json.dumps(original.to_dict()))) == original
+
+
+class TestCoverageReport:
+    def test_ranking_and_statuses(self):
+        report = FaultCoverageReport.from_dictionary(make_dictionary(), num_trials=2000)
+        labels = [entry.label for entry in report.entries]
+        assert labels == [
+            f"{PROFILE}/pa-compression-s1",
+            f"{PROFILE}/pa-compression-s0.5",
+            f"{PROFILE}/dcde-error-s1",
+        ]
+        statuses = {entry.label: entry.status for entry in report.entries}
+        assert statuses[f"{PROFILE}/pa-compression-s1"] == "covered"
+        # Detected on 1 of 2 repeats: covered at threshold 0.5 but marginal.
+        assert statuses[f"{PROFILE}/pa-compression-s0.5"] == "covered"
+        assert statuses[f"{PROFILE}/dcde-error-s1"] == "uncovered"
+        marginal = {entry.label: entry.marginal for entry in report.entries}
+        assert marginal == {
+            f"{PROFILE}/pa-compression-s1": False,
+            f"{PROFILE}/pa-compression-s0.5": True,
+            f"{PROFILE}/dcde-error-s1": False,
+        }
+        assert [entry.label for entry in report.uncovered_faults()] == [
+            f"{PROFILE}/dcde-error-s1"
+        ]
+        assert [entry.label for entry in report.marginal_faults()] == [
+            f"{PROFILE}/pa-compression-s0.5"
+        ]
+
+    def test_uncovered_list_reconciles_with_coverage_fraction(self):
+        # A marginal-but-undetected point (P = 0.25 at threshold 0.5) must
+        # appear in the uncovered list, so headline coverage and the lists
+        # in the serialized artifact always agree.
+        dictionary = FaultDictionary(
+            records=(
+                record(PaCompressionFault(severity=1.0), "pa-compression-s1", [True] * 4),
+                record(
+                    PaCompressionFault(severity=0.5),
+                    "pa-compression-s0.5",
+                    [True, False, False, False],
+                ),
+                record(DcdeErrorFault(severity=1.0), "dcde-error-s1", [False] * 4),
+            ),
+            references=tuple(signature(f"{PROFILE}/reference/r{i}") for i in range(4)),
+        )
+        report = FaultCoverageReport.from_dictionary(dictionary, num_trials=2000)
+        uncovered = [entry.label for entry in report.uncovered_faults()]
+        assert set(uncovered) == set(report.coverage_result.uncovered)
+        assert f"{PROFILE}/pa-compression-s0.5" in uncovered
+        assert report.coverage == pytest.approx(1.0 - len(uncovered) / 3.0)
+        payload = report.to_dict()
+        assert set(payload["uncovered"]) == set(report.coverage_result.uncovered)
+        assert f"{PROFILE}/pa-compression-s0.5" in payload["marginal"]
+
+    def test_to_text_mentions_holes(self):
+        report = FaultCoverageReport.from_dictionary(make_dictionary(), num_trials=2000)
+        text = report.to_text()
+        assert "fault coverage" in text
+        assert "uncovered (test holes)" in text
+        assert "dcde-error-s1" in text
+
+    def test_to_dict_is_json_friendly(self):
+        report = FaultCoverageReport.from_dictionary(make_dictionary(), num_trials=2000)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["coverage"] == pytest.approx(2.0 / 3.0)
+        assert payload["uncovered"] == [f"{PROFILE}/dcde-error-s1"]
+        assert payload["escape"]["num_trials"] == 2000
+
+    def test_same_seed_same_escape_numbers(self):
+        a = FaultCoverageReport.from_dictionary(make_dictionary(), seed=3, num_trials=2000)
+        b = FaultCoverageReport.from_dictionary(make_dictionary(), seed=3, num_trials=2000)
+        assert a.escape == b.escape
+        assert a.to_dict() == b.to_dict()

@@ -1,0 +1,124 @@
+"""Tests for repro.faults.injection: campaign expansion and plumbing."""
+
+import pytest
+
+from repro.bist import BistConfig, ConverterSpec
+from repro.errors import ValidationError
+from repro.faults import (
+    FaultCampaign,
+    PaCompressionFault,
+    TiadcBandwidthFault,
+    TiadcSkewFault,
+    fault_grid,
+)
+from repro.signals import get_profile
+from repro.transmitter import ImpairmentConfig
+
+
+def two_family_campaign(**kwargs):
+    defaults = dict(num_repeats=2, num_reference=3)
+    defaults.update(kwargs)
+    return FaultCampaign(
+        ["paper-qpsk-1ghz"],
+        fault_grid(["pa-compression", "tiadc-skew"], [0.5, 1.0]),
+        **defaults,
+    )
+
+
+class TestExpansion:
+    def test_scenario_count(self):
+        campaign = two_family_campaign()
+        # 3 references + 2 families x 2 severities x 2 repeats = 11
+        assert len(campaign) == 11
+        assert len(campaign.build_scenarios()) == 11
+
+    def test_labels_unique_and_structured(self):
+        scenarios = two_family_campaign().build_scenarios()
+        labels = [scenario.label for scenario in scenarios]
+        assert len(set(labels)) == len(labels)
+        assert "paper-qpsk-1ghz/reference/r0" in labels
+        assert "paper-qpsk-1ghz/pa-compression-s0.5/r1" in labels
+
+    def test_points_bound_per_profile(self):
+        campaign = FaultCampaign(
+            ["paper-qpsk-1ghz", "uhf-8psk-400mhz"],
+            [TiadcBandwidthFault()],
+            num_repeats=1,
+            num_reference=1,
+        )
+        points = campaign.points
+        assert len(points) == 2
+        # The bandwidth fault specialises to each profile's carrier.
+        by_profile = {point.profile_name: point.fault for point in points}
+        assert by_profile["paper-qpsk-1ghz"].reference_frequency_hz == pytest.approx(1.0e9)
+        assert by_profile["uhf-8psk-400mhz"].reference_frequency_hz == pytest.approx(
+            get_profile("uhf-8psk-400mhz").carrier_frequency_hz
+        )
+
+    def test_fault_scenarios_carry_injected_state(self):
+        scenarios = two_family_campaign().build_scenarios()
+        by_label = {scenario.label: scenario for scenario in scenarios}
+        skew = by_label["paper-qpsk-1ghz/tiadc-skew-s1/r0"]
+        assert skew.converter.channel1_skew_seconds == pytest.approx(40e-12)
+        reference = by_label["paper-qpsk-1ghz/reference/r0"]
+        assert reference.converter == ConverterSpec()
+
+    def test_base_impairments_and_converter_respected(self):
+        base_impairments = ImpairmentConfig(output_snr_db=30.0)
+        base_converter = ConverterSpec(resolution_bits=12)
+        campaign = FaultCampaign(
+            ["paper-qpsk-1ghz"],
+            [PaCompressionFault()],
+            base_impairments=base_impairments,
+            base_converter=base_converter,
+            num_repeats=1,
+            num_reference=1,
+        )
+        scenarios = campaign.build_scenarios()
+        by_label = {scenario.label: scenario for scenario in scenarios}
+        faulty = by_label["paper-qpsk-1ghz/pa-compression-s1/r0"]
+        assert faulty.impairments.output_snr_db == pytest.approx(30.0)
+        assert faulty.converter.resolution_bits == 12
+
+    def test_num_symbols_propagates(self):
+        campaign = FaultCampaign(
+            ["paper-qpsk-1ghz"],
+            [PaCompressionFault()],
+            num_repeats=1,
+            num_reference=1,
+            num_symbols=128,
+        )
+        for scenario in campaign.build_scenarios():
+            assert scenario.num_symbols == 128
+
+
+class TestValidation:
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultCampaign([], [PaCompressionFault()])
+
+    def test_empty_faults_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultCampaign(["paper-qpsk-1ghz"], [])
+
+    def test_non_fault_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultCampaign(["paper-qpsk-1ghz"], ["pa-compression"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultCampaign(["nope"], [PaCompressionFault()])
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultCampaign(["paper-qpsk-1ghz"], [PaCompressionFault()], num_repeats=0)
+        with pytest.raises(ValidationError):
+            FaultCampaign(["paper-qpsk-1ghz"], [PaCompressionFault()], num_reference=0)
+
+    def test_duplicate_fault_points_rejected(self):
+        campaign = FaultCampaign(
+            ["paper-qpsk-1ghz"],
+            [TiadcSkewFault(), TiadcSkewFault()],
+        )
+        with pytest.raises(ValidationError, match="duplicate fault point"):
+            campaign.points

@@ -58,6 +58,51 @@ class TestTransmission:
             HomodyneTransmitter("config")
 
 
+class TestImpairmentHooks:
+    def test_impairment_dac_is_used(self):
+        from repro.transmitter import TransmitDac
+
+        config = TransmitterConfig.paper_default(
+            impairments=ImpairmentConfig(dac=TransmitDac(resolution_bits=3, full_scale=4.0)),
+            seed=7,
+        )
+        coarse = HomodyneTransmitter(config).transmit(64)
+        clean = HomodyneTransmitter(TransmitterConfig.paper_default(seed=7)).transmit(64)
+        # The 3-bit DAC visibly distorts the envelope relative to the ideal.
+        error = coarse.output_envelope.samples - clean.output_envelope.samples
+        assert np.sqrt(np.mean(np.abs(error) ** 2)) > 0.05
+
+    def test_explicit_dac_argument_wins(self):
+        from repro.transmitter import TransmitDac
+
+        config = TransmitterConfig.paper_default(
+            impairments=ImpairmentConfig(dac=TransmitDac(resolution_bits=3, full_scale=4.0)),
+            seed=7,
+        )
+        explicit = HomodyneTransmitter(config, dac=TransmitDac()).transmit(64)
+        clean = HomodyneTransmitter(TransmitterConfig.paper_default(seed=7)).transmit(64)
+        np.testing.assert_allclose(
+            explicit.output_envelope.samples, clean.output_envelope.samples
+        )
+
+    def test_filter_drift_narrows_output(self):
+        drifted_config = TransmitterConfig.paper_default(
+            impairments=ImpairmentConfig(output_filter_bandwidth_scale=0.06),
+            seed=9,
+        )
+        clean_config = TransmitterConfig.paper_default(seed=9)
+        drifted = HomodyneTransmitter(drifted_config).transmit(128)
+        clean = HomodyneTransmitter(clean_config).transmit(128)
+        # The narrowed filter removes part of the SRRC spectrum: the band-edge
+        # power drops while the ideal pulse-shaped reference is unchanged.
+        rate = drifted.output_envelope.sample_rate
+        drifted_psd = welch_psd(drifted.output_envelope.samples, rate, segment_length=512)
+        clean_psd = welch_psd(clean.output_envelope.samples, rate, segment_length=512)
+        edge = band_power(drifted_psd, 5.0e6, 7.5e6)
+        clean_edge = band_power(clean_psd, 5.0e6, 7.5e6)
+        assert edge < 0.5 * clean_edge
+
+
 class TestSpectralBehaviour:
     def test_spectrum_centred_on_envelope_baseband(self, paper_burst):
         """The complex envelope spectrum is centred near DC with ~15 MHz occupancy."""

@@ -26,6 +26,21 @@ class TestImpairmentConfig:
         # Other fields untouched
         assert config.iq_imbalance.is_ideal
 
+    def test_dac_override_field(self):
+        from repro.transmitter import TransmitDac
+
+        config = ImpairmentConfig(dac=TransmitDac(resolution_bits=6))
+        assert config.dac.resolution_bits == 6
+        assert ImpairmentConfig().dac is None
+
+    def test_bad_dac_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImpairmentConfig(dac="not a dac")
+
+    def test_bad_filter_scale_rejected(self):
+        with pytest.raises(ReproError):
+            ImpairmentConfig(output_filter_bandwidth_scale=0.0)
+
 
 class TestTransmitterConfig:
     def test_paper_default_matches_section_v(self):
@@ -84,6 +99,24 @@ class TestSerialization:
         restored = ImpairmentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert restored.amplifier.a3 == config.amplifier.a3
         assert restored == config
+
+    def test_dac_and_filter_scale_roundtrip(self):
+        from repro.transmitter import TransmitDac
+
+        config = ImpairmentConfig(
+            dac=TransmitDac(resolution_bits=6, inl_fraction_lsb=0.5),
+            output_filter_bandwidth_scale=0.25,
+        )
+        restored = ImpairmentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_legacy_payload_without_new_fields(self):
+        payload = ImpairmentConfig().to_dict()
+        del payload["dac"]
+        del payload["output_filter_bandwidth_scale"]
+        restored = ImpairmentConfig.from_dict(payload)
+        assert restored.dac is None
+        assert restored.output_filter_bandwidth_scale == 1.0
 
     def test_unknown_amplifier_type_rejected(self):
         payload = ImpairmentConfig().to_dict()

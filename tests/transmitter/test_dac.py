@@ -42,6 +42,40 @@ class TestQuantisation:
             TransmitDac().convert(np.ones(16))
 
 
+class TestInl:
+    def test_inl_bow_shape(self):
+        dac = TransmitDac(resolution_bits=12, full_scale=1.0, inl_fraction_lsb=2.0)
+        ideal = TransmitDac(resolution_bits=12, full_scale=1.0)
+        envelope = ramp_envelope(amplitude=0.9)
+        error = dac.convert(envelope).samples.real - ideal.convert(envelope).samples.real
+        # The bow peaks near mid scale and vanishes at zero input.
+        peak = np.max(np.abs(error))
+        assert peak == pytest.approx(2.0 * dac.step_size, rel=0.05)
+        mid_index = np.argmin(np.abs(envelope.samples.real))
+        assert abs(error[mid_index]) < 0.1 * dac.step_size
+
+    def test_zero_inl_is_pure_quantisation(self):
+        dac = TransmitDac(resolution_bits=10, full_scale=1.0, inl_fraction_lsb=0.0)
+        converted = dac.convert(ramp_envelope(amplitude=0.9)).samples.real
+        assert np.allclose(converted / dac.step_size, np.round(converted / dac.step_size))
+
+    def test_inl_creates_odd_order_distortion(self):
+        # A pure tone through the bow gains a visible third harmonic; the
+        # tone sits exactly on an FFT bin so the harmonics do too.
+        rate = 100e6
+        num = 4096
+        cycles = 25
+        t = np.arange(num) / rate
+        tone = 0.8 * np.cos(2 * np.pi * (cycles * rate / num) * t)
+        envelope = ComplexEnvelope(tone + 0j * tone, rate)
+        bowed = TransmitDac(resolution_bits=14, full_scale=1.0, inl_fraction_lsb=8.0)
+        clean = TransmitDac(resolution_bits=14, full_scale=1.0)
+        spectrum = np.abs(np.fft.rfft(bowed.convert(envelope).samples.real))
+        clean_spectrum = np.abs(np.fft.rfft(clean.convert(envelope).samples.real))
+        assert spectrum[3 * cycles] > 10.0 * clean_spectrum[3 * cycles]
+        assert spectrum[3 * cycles] < spectrum[cycles]
+
+
 class TestAnalogStages:
     def test_reconstruction_filter_removes_high_frequency(self):
         rate = 100e6
