@@ -1,0 +1,137 @@
+"""Resumable campaigns and golden-baseline gating with the campaign store.
+
+This example demonstrates the persistence subsystem end to end:
+
+1. a grid campaign runs against a :class:`~repro.store.CampaignStore` and is
+   *interrupted* halfway (simulated by a progress callback that raises);
+2. the identical campaign is launched again with the same store: the
+   finished scenarios are served as cache hits (no re-execution) and only
+   the remainder runs — the merged result is bit-identical to an
+   uninterrupted run;
+3. the completed execution becomes a golden baseline archive, a second run
+   is gated against it with :class:`~repro.store.BaselineComparator`, and
+   an artificially drifted copy shows the gate failing.
+
+Run with:  PYTHONPATH=src python examples/resumable_campaign.py [--workers 2]
+Use ``--fast`` for a quick smoke run.
+"""
+
+import argparse
+import copy
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bist import BistConfig, CampaignRunner, ScenarioGrid, skew_sweep
+from repro.bist.runner import CampaignExecution
+from repro.store import BaselineComparator, CampaignStore
+from repro.transmitter import ImpairmentConfig
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised mid-campaign to emulate a killed process."""
+
+
+def build_scenarios():
+    """2 profiles x 2 converter skews = 4 scenarios."""
+    return (
+        ScenarioGrid()
+        .add_profiles("paper-qpsk-1ghz", "uhf-8psk-400mhz")
+        .add_impairment("nominal", ImpairmentConfig())
+        .add_converters(skew_sweep([0.0, 2e-12]))
+        .build()
+    )
+
+
+def build_config(fast: bool) -> BistConfig:
+    if fast:
+        return BistConfig(
+            num_samples_fast=128,
+            num_samples_slow=64,
+            lms_max_iterations=25,
+            num_cost_points=60,
+            measure_evm_enabled=False,
+        )
+    return BistConfig(num_samples_fast=256, num_samples_slow=128)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1, help="process-pool size")
+    parser.add_argument("--fast", action="store_true", help="reduced engine settings")
+    args = parser.parse_args()
+
+    scenarios = build_scenarios()
+    config = build_config(args.fast)
+    root = Path(tempfile.mkdtemp(prefix="resumable-campaign-"))
+    store_root = root / "store"
+
+    print(f"campaign: {len(scenarios)} scenarios, store at {store_root}")
+
+    # -- 1. interrupted run ------------------------------------------------ #
+    completed = 0
+
+    def crash_after_two(outcome):
+        nonlocal completed
+        completed += 1
+        print(f"  [interrupted run] {outcome.summary()}")
+        if completed == 2:
+            raise SimulatedCrash("power cut after two scenarios")
+
+    try:
+        CampaignRunner(
+            bist_config=config,
+            store=CampaignStore(store_root),
+            progress_callback=crash_after_two,
+        ).run(scenarios)
+    except SimulatedCrash as exc:
+        print(f"  campaign interrupted: {exc}")
+    print(f"  store survived with {len(CampaignStore(store_root))} archived scenario(s)")
+
+    # -- 2. resume --------------------------------------------------------- #
+    start = time.perf_counter()
+    resumed = CampaignRunner(
+        bist_config=config,
+        store=CampaignStore(store_root),
+        max_workers=args.workers,
+        progress_callback=lambda outcome: print(f"  [resume] {outcome.summary()}"),
+    ).run(scenarios)
+    resume_seconds = time.perf_counter() - start
+    summary = resumed.summary()
+    print(
+        f"  resumed in {resume_seconds:.2f} s: {summary.cache_hits} cache hit(s), "
+        f"{summary.cache_misses} executed"
+    )
+
+    reference = CampaignRunner(bist_config=config).run(scenarios)
+    identical = [o.report.to_dict() for o in resumed.outcomes] == [
+        o.report.to_dict() for o in reference.outcomes
+    ]
+    print(f"  resumed == uninterrupted reports: {identical}")
+    assert identical
+
+    # -- 3. golden-baseline gating ----------------------------------------- #
+    baseline_path = root / "baseline.json"
+    baseline_path.write_text(json.dumps(resumed.to_dict()))
+    warm = CampaignRunner(bist_config=config, store=CampaignStore(store_root)).run(scenarios)
+    comparator = BaselineComparator()
+    gate = comparator.compare(
+        CampaignExecution.from_dict(json.loads(baseline_path.read_text())), warm
+    )
+    print(f"  baseline gate on a fresh run: {gate.to_text().splitlines()[0]}")
+    assert gate.passed
+
+    drifted_data = copy.deepcopy(warm.to_dict())
+    drifted_data["outcomes"][0]["report"]["measurements"]["occupied_bandwidth_hz"] += 5e6
+    drift = comparator.compare(warm, CampaignExecution.from_dict(drifted_data))
+    print(f"  baseline gate on injected OBW drift: {drift.to_text().splitlines()[0]}")
+    for entry in drift.drifted:
+        print(f"    {entry.summary()}")
+    assert not drift.passed
+
+    print(f"artifacts kept under {root}")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,7 +37,7 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.22"],
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "test": ["pytest", "pytest-benchmark", "pytest-cov", "hypothesis"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

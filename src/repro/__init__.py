@@ -20,10 +20,12 @@ radio transmitters end to end:
   EVM measurements, verdicts and multistandard campaigns;
 * :mod:`repro.faults` — fault models, fault-injection campaigns, the fault
   dictionary and coverage / test-escape / yield-loss analytics;
+* :mod:`repro.store` — persistent content-addressed campaign store:
+  resumable execution, shard merging and golden-baseline regression gating;
 * :mod:`repro.core` — flat re-exports of the primary API.
 """
 
-from . import adc, bist, calibration, core, dsp, faults, rf, sampling, signals, transmitter, utils
+from . import adc, bist, calibration, core, dsp, faults, rf, sampling, signals, store, transmitter, utils
 from .errors import (
     AliasingError,
     CalibrationError,
@@ -50,6 +52,7 @@ __all__ = [
     "rf",
     "sampling",
     "signals",
+    "store",
     "transmitter",
     "utils",
     "ReproError",

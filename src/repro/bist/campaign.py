@@ -25,6 +25,7 @@ from ..errors import ConfigurationError, ValidationError
 from ..signals.standards import WaveformProfile, get_profile
 from ..transmitter.chain import HomodyneTransmitter
 from ..transmitter.config import ImpairmentConfig, TransmitterConfig
+from ..utils.serialization import field_dict, known_field_kwargs
 from .engine import BistConfig, TransmitterBist
 from .report import BistReport, CampaignSummary
 
@@ -134,6 +135,20 @@ class ConverterSpec:
 
     def __call__(self, acquisition_bandwidth_hz: float) -> BpTiadc:
         return self.build(acquisition_bandwidth_hz)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`).
+
+        Every field is a scalar, so the dictionary doubles as the spec's
+        canonical form for campaign-store fingerprinting (see
+        :mod:`repro.store.fingerprint`).
+        """
+        return field_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConverterSpec":
+        """Rebuild a spec serialized with :meth:`to_dict` (unknown keys ignored)."""
+        return cls(**known_field_kwargs(cls, data))
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ from ..sampling.bandpass import BandpassBand
 from ..sampling.reconstruction import NonuniformReconstructor
 from ..signals.standards import WaveformProfile, get_profile
 from ..transmitter.chain import HomodyneTransmitter, TransmissionResult
+from ..utils.serialization import field_dict, known_field_kwargs
 from ..utils.validation import check_integer, check_positive
 from .masks import SpectralMask
 from .measurements import (
@@ -117,6 +118,20 @@ class BistConfig:
         check_positive(self.lms_initial_step_seconds, "lms_initial_step_seconds")
         check_integer(self.lms_max_iterations, "lms_max_iterations", minimum=1)
         check_integer(self.num_cost_points, "num_cost_points", minimum=10)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`).
+
+        Every field is a scalar, so the dictionary doubles as the
+        configuration's canonical form for campaign-store fingerprinting
+        (see :mod:`repro.store.fingerprint`).
+        """
+        return field_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BistConfig":
+        """Rebuild a configuration serialized with :meth:`to_dict` (unknown keys ignored)."""
+        return cls(**known_field_kwargs(cls, data))
 
 
 class TransmitterBist:

@@ -346,9 +346,14 @@ class CampaignSummary:
     errors: tuple = ()
     mean_skew_error_ps: float | None = None
     max_skew_error_ps: float | None = None
+    #: Campaign-store cache counters: hits were served from the store, misses
+    #: actually executed.  A campaign without a store counts every scenario
+    #: as a miss (everything executed).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @classmethod
-    def from_entries(cls, entries, errors=()) -> "CampaignSummary":
+    def from_entries(cls, entries, errors=(), cache_hits: int = 0, cache_misses: int | None = None) -> "CampaignSummary":
         """Aggregate ``(label, report)`` pairs and ``(label, error)`` pairs."""
         entries = list(entries)
         errors = tuple((str(label), str(message)) for label, message in errors)
@@ -391,8 +396,11 @@ class CampaignSummary:
             )
         mean_skew, _, max_skew = _stats(all_skew_errors)
         num_passed = sum(report.passed for _, report in entries)
+        num_scenarios = len(entries) + len(errors)
+        if cache_misses is None:
+            cache_misses = num_scenarios - cache_hits
         return cls(
-            num_scenarios=len(entries) + len(errors),
+            num_scenarios=num_scenarios,
             num_passed=num_passed,
             num_failed=len(entries) - num_passed,
             num_errors=len(errors),
@@ -400,6 +408,8 @@ class CampaignSummary:
             errors=errors,
             mean_skew_error_ps=mean_skew,
             max_skew_error_ps=max_skew,
+            cache_hits=int(cache_hits),
+            cache_misses=int(cache_misses),
         )
 
     @property
@@ -427,6 +437,11 @@ class CampaignSummary:
                 f"{self.num_errors} errored (pass rate {self.pass_rate * 100.0:.1f}%)"
             )
         ]
+        if self.cache_hits:
+            lines.append(
+                f"campaign store: {self.cache_hits} cache hit(s), "
+                f"{self.cache_misses} executed"
+            )
         header = (
             f"{'profile':<24} {'n':>3} {'pass':>4} {'rate%':>6} "
             f"{'ACPR dB':>8} {'OBW MHz':>8} {'EVM %':>6} {'mask dB':>8} {'skew ps':>8}"
@@ -460,6 +475,8 @@ class CampaignSummary:
             "num_failed": self.num_failed,
             "num_errors": self.num_errors,
             "pass_rate": self.pass_rate,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "mean_skew_error_ps": self.mean_skew_error_ps,
             "max_skew_error_ps": self.max_skew_error_ps,
             "profiles": {

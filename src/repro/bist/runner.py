@@ -97,7 +97,11 @@ class ScenarioOutcome:
     duration_seconds:
         Wall-clock execution time of this scenario.
     worker:
-        Identifier of the process that executed the scenario.
+        Identifier of the process that executed the scenario (``"store"``
+        for cache hits).
+    cached:
+        Whether the outcome was served from a campaign store instead of
+        being executed.
     """
 
     index: int
@@ -107,6 +111,7 @@ class ScenarioOutcome:
     traceback_text: str = ""
     duration_seconds: float = 0.0
     worker: str = ""
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -132,6 +137,7 @@ class ScenarioOutcome:
             "traceback_text": self.traceback_text,
             "duration_seconds": self.duration_seconds,
             "worker": self.worker,
+            "cached": self.cached,
         }
 
     @classmethod
@@ -146,6 +152,7 @@ class ScenarioOutcome:
             traceback_text=data.get("traceback_text", ""),
             duration_seconds=data.get("duration_seconds", 0.0),
             worker=data.get("worker", ""),
+            cached=data.get("cached", False),
         )
 
 
@@ -190,6 +197,16 @@ class CampaignExecution:
         """Sum of the per-scenario wall clocks (the serial-equivalent cost)."""
         return float(sum(outcome.duration_seconds for outcome in self.outcomes))
 
+    @property
+    def cache_hits(self) -> int:
+        """Scenarios served from the campaign store instead of executing."""
+        return sum(outcome.cached for outcome in self.outcomes)
+
+    @property
+    def cache_misses(self) -> int:
+        """Scenarios that actually executed (everything not served cached)."""
+        return len(self.outcomes) - self.cache_hits
+
     def to_result(self) -> CampaignResult:
         """Convert to the classic :class:`CampaignResult`.
 
@@ -204,8 +221,13 @@ class CampaignExecution:
         return CampaignResult(entries=tuple(self.entries))
 
     def summary(self) -> CampaignSummary:
-        """Aggregate statistics over reports and captured errors."""
-        return CampaignSummary.from_entries(self.entries, errors=self.errors)
+        """Aggregate statistics over reports, captured errors and cache counters."""
+        return CampaignSummary.from_entries(
+            self.entries,
+            errors=self.errors,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+        )
 
     def to_dict(self) -> dict:
         """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`).
@@ -295,7 +317,18 @@ class CampaignRunner:
     progress_callback:
         Optional ``callable(ScenarioOutcome)`` invoked as each scenario
         completes (completion order, which differs from submission order
-        under parallel execution).
+        under parallel execution).  Cache hits are reported through the
+        callback too, before any pending scenario executes.
+    store:
+        Optional :class:`~repro.store.CampaignStore`.  When set, every
+        scenario is fingerprinted (see
+        :func:`repro.store.scenario_fingerprint`); scenarios whose
+        fingerprint is already archived are served from the store without
+        executing (``cached=True`` outcomes), and every freshly executed
+        successful outcome is flushed to the store as it completes — so an
+        interrupted campaign resumes from where it stopped and re-runs are
+        incremental.  Requires declarative :class:`ConverterSpec` converter
+        factories (arbitrary callables cannot be fingerprinted).
     """
 
     def __init__(
@@ -305,6 +338,7 @@ class CampaignRunner:
         max_workers: int = 1,
         seed_policy: str = "shared",
         progress_callback=None,
+        store=None,
     ) -> None:
         if not isinstance(max_workers, int) or max_workers < 1:
             raise ValidationError("max_workers must be a positive integer")
@@ -321,6 +355,7 @@ class CampaignRunner:
         self._max_workers = max_workers
         self._seed_policy = seed_policy
         self._progress_callback = progress_callback
+        self._store = store
 
     @property
     def max_workers(self) -> int:
@@ -361,24 +396,84 @@ class CampaignRunner:
         """Execute every scenario; errors are captured, not raised.
 
         Returns a :class:`CampaignExecution` whose outcomes are in submission
-        order regardless of the order in which workers finished them.
+        order regardless of the order in which workers finished them.  With a
+        campaign store attached, archived scenarios are served as cache hits
+        (no execution) and fresh outcomes are flushed to the store as they
+        complete, so an interrupted run resumes incrementally.
         """
         tasks = self._build_tasks(scenarios)
-        if self._max_workers == 1 or len(tasks) == 1:
-            outcomes = self._run_serial(tasks)
+        cached, pending, fingerprints = self._consult_store(tasks)
+        if not pending:
+            executed = []
+        elif self._max_workers == 1 or len(pending) == 1:
+            executed = self._run_serial(pending, fingerprints)
         else:
-            outcomes = self._run_parallel(tasks)
+            executed = self._run_parallel(pending, fingerprints)
+        outcomes = sorted(cached + executed, key=lambda outcome: outcome.index)
         return CampaignExecution(outcomes=tuple(outcomes))
+
+    def _consult_store(self, tasks) -> tuple:
+        """Split tasks into store-served outcomes and tasks still to run."""
+        if self._store is None:
+            return [], list(tasks), {}
+        from ..store.fingerprint import scenario_fingerprint
+
+        cached = []
+        pending = []
+        fingerprints: dict[int, str] = {}
+        for task in tasks:
+            try:
+                fingerprint = scenario_fingerprint(
+                    task.scenario,
+                    bist_config=task.bist_config,
+                    converter_factory=task.converter_factory,
+                    seed=task.seed,
+                )
+            except ValidationError:
+                # A scenario with invalid *content* (e.g. unresolvable
+                # profile) must surface as a per-scenario error outcome from
+                # the execution path, not abort the campaign during the
+                # store consult; it simply runs uncached.  A campaign-level
+                # misconfiguration (non-ConverterSpec factory) still raises
+                # ConfigurationError loudly, mirroring _check_picklable.
+                pending.append(task)
+                continue
+            fingerprints[task.index] = fingerprint
+            hit = self._store.get(fingerprint)
+            if hit is not None and hit.ok:
+                # Re-home the archived report under the current campaign's
+                # index/label; wall clock and worker describe the cache hit,
+                # not the original execution.
+                outcome = ScenarioOutcome(
+                    index=task.index,
+                    label=task.label,
+                    report=hit.report,
+                    duration_seconds=0.0,
+                    worker="store",
+                    cached=True,
+                )
+                self._notify(outcome)
+                cached.append(outcome)
+            else:
+                pending.append(task)
+        return cached, pending, fingerprints
 
     def _notify(self, outcome: ScenarioOutcome) -> None:
         if self._progress_callback is not None:
             self._progress_callback(outcome)
 
-    def _run_serial(self, tasks) -> list[ScenarioOutcome]:
+    def _complete(self, outcome: ScenarioOutcome, fingerprints: dict) -> None:
+        """Archive a fresh outcome (incremental flush), then notify."""
+        if self._store is not None and outcome.ok and outcome.index in fingerprints:
+            self._store.put(fingerprints[outcome.index], outcome)
+        self._notify(outcome)
+
+    def _run_serial(self, tasks, fingerprints=None) -> list[ScenarioOutcome]:
+        fingerprints = fingerprints if fingerprints is not None else {}
         outcomes = []
         for task in tasks:
             outcome = _execute_task(task)
-            self._notify(outcome)
+            self._complete(outcome, fingerprints)
             outcomes.append(outcome)
         return outcomes
 
@@ -398,14 +493,15 @@ class CampaignRunner:
     #: every outstanding future, so innocent scenarios deserve a fresh pool).
     _MAX_POOL_ROUNDS = 2
 
-    def _run_parallel(self, tasks) -> list[ScenarioOutcome]:
+    def _run_parallel(self, tasks, fingerprints=None) -> list[ScenarioOutcome]:
+        fingerprints = fingerprints if fingerprints is not None else {}
         self._check_picklable(tasks)
         outcomes: dict[int, ScenarioOutcome] = {}
         pending = list(tasks)
         for _ in range(self._MAX_POOL_ROUNDS):
             if not pending:
                 break
-            pending = self._pool_round(pending, outcomes)
+            pending = self._pool_round(pending, outcomes, fingerprints)
         for task in pending:
             # Scenarios still unplaced after the retry rounds: the pool kept
             # breaking around them (e.g. a scenario that OOM-kills its
@@ -422,7 +518,7 @@ class CampaignRunner:
             outcomes[outcome.index] = outcome
         return [outcomes[index] for index in sorted(outcomes)]
 
-    def _pool_round(self, tasks, outcomes) -> list:
+    def _pool_round(self, tasks, outcomes, fingerprints) -> list:
         """One process-pool pass; returns tasks lost to worker deaths."""
         workers = min(self._max_workers, len(tasks))
         broken = []
@@ -450,7 +546,7 @@ class CampaignRunner:
                             traceback.format_exception(type(error), error, error.__traceback__)
                         ),
                     )
-                self._notify(outcome)
+                self._complete(outcome, fingerprints)
                 outcomes[outcome.index] = outcome
         return broken
 

@@ -26,6 +26,9 @@ from ..sampling.reconstruction import (
     NonuniformReconstructor,
     NonuniformSampleSet,
 )
+from ..store.baseline import BaselineComparator, BaselineTolerances
+from ..store.fingerprint import scenario_fingerprint
+from ..store.store import CampaignStore
 from ..transmitter.chain import HomodyneTransmitter
 from ..transmitter.config import ImpairmentConfig, TransmitterConfig
 
@@ -57,6 +60,10 @@ __all__ = [
     "IdealNonuniformSampler",
     "NonuniformReconstructor",
     "NonuniformSampleSet",
+    "BaselineComparator",
+    "BaselineTolerances",
+    "CampaignStore",
+    "scenario_fingerprint",
     "HomodyneTransmitter",
     "ImpairmentConfig",
     "TransmitterConfig",

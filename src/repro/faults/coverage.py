@@ -25,12 +25,13 @@ campaigns yield bit-identical dictionaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..bist.report import Verdict
 from ..errors import ValidationError
+from ..utils.serialization import field_dict, known_field_kwargs
 from ..utils.validation import check_integer, check_probability
 from .injection import REFERENCE_FAMILY, FaultCampaignResult, FaultPoint
 from .models import FAULT_FAMILIES, FaultModel
@@ -109,12 +110,12 @@ class FaultSignature:
 
     def to_dict(self) -> dict:
         """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
-        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        return field_dict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultSignature":
-        """Rebuild a signature serialized with :meth:`to_dict`."""
-        return cls(**data)
+        """Rebuild a signature serialized with :meth:`to_dict` (unknown keys ignored)."""
+        return cls(**known_field_kwargs(cls, data))
 
 
 @dataclass(frozen=True)
@@ -182,12 +183,12 @@ class TestLimits:
 
     def to_dict(self) -> dict:
         """Plain JSON-friendly dictionary."""
-        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        return field_dict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "TestLimits":
-        """Rebuild limits serialized with :meth:`to_dict`."""
-        return cls(**data)
+        """Rebuild limits serialized with :meth:`to_dict` (unknown keys ignored)."""
+        return cls(**known_field_kwargs(cls, data))
 
 
 @dataclass(frozen=True)
@@ -318,7 +319,7 @@ class EscapeYieldEstimate:
 
     def to_dict(self) -> dict:
         """Plain JSON-friendly dictionary."""
-        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        return field_dict(self)
 
 
 @dataclass(frozen=True)

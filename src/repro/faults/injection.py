@@ -197,12 +197,18 @@ class FaultCampaign:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def run(self, max_workers: int = 1, progress_callback=None) -> "FaultCampaignResult":
+    def run(
+        self, max_workers: int = 1, progress_callback=None, store=None
+    ) -> "FaultCampaignResult":
         """Execute the whole campaign; errors are captured per scenario.
 
         ``max_workers > 1`` distributes scenarios over a process pool; the
         per-scenario seed policy guarantees the result is identical to the
-        serial one.
+        serial one.  ``store`` (a :class:`~repro.store.CampaignStore`) makes
+        the run resumable: archived fault points are served as cache hits
+        and fresh outcomes are flushed as they complete, so an interrupted
+        population study picks up where it stopped with an identical
+        dictionary.
         """
         from ..bist.runner import CampaignRunner
 
@@ -212,6 +218,7 @@ class FaultCampaign:
             max_workers=max_workers,
             seed_policy="per-scenario",
             progress_callback=progress_callback,
+            store=store,
         )
         execution = runner.run(self.build_scenarios())
         return FaultCampaignResult(

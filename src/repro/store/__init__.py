@@ -1,0 +1,45 @@
+"""Persistent, content-addressed campaign storage and regression gating.
+
+At ROADMAP scale a BIST campaign spans thousands of scenarios that must
+survive interruption, avoid recomputing unchanged work, be mergeable across
+distributed workers, and be diffable run-over-run.  This package provides
+the storage layer that makes campaigns cacheable, shardable, resumable and
+regression-gated:
+
+* :mod:`repro.store.fingerprint` — stable SHA-256 scenario fingerprints
+  over the serialized configuration objects plus a schema version;
+* :mod:`repro.store.store` — :class:`CampaignStore`, an append-only JSONL
+  shard store with atomic whole-file writes, corrupt-line skip-and-warn
+  recovery and deterministic shard merging;
+* :mod:`repro.store.baseline` — :class:`BaselineComparator`, diffing a
+  fresh campaign against a stored golden baseline per metric with explicit
+  tolerances and a machine-readable drift report;
+* :mod:`repro.store.cli` — the ``python -m repro.store`` command
+  (``run`` / ``resume`` / ``merge`` / ``compare``).
+
+Execution integrates through the ``store=`` hook of
+:class:`repro.bist.runner.CampaignRunner` and
+:class:`repro.faults.injection.FaultCampaign`.
+"""
+
+from .baseline import BaselineComparator, BaselineTolerances, DriftReport, MetricDrift
+from .fingerprint import (
+    SCHEMA_VERSION,
+    canonical_json,
+    fingerprint_payload,
+    scenario_fingerprint,
+)
+from .store import CampaignStore, CampaignStoreWarning
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "fingerprint_payload",
+    "scenario_fingerprint",
+    "CampaignStore",
+    "CampaignStoreWarning",
+    "BaselineComparator",
+    "BaselineTolerances",
+    "DriftReport",
+    "MetricDrift",
+]

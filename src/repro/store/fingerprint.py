@@ -1,0 +1,140 @@
+"""Content-addressed scenario fingerprints.
+
+The campaign store keys every archived outcome by a *scenario fingerprint*:
+a stable SHA-256 over the canonical JSON form of everything that determines
+the BIST result — the resolved per-scenario
+:class:`~repro.bist.engine.BistConfig`, the effective
+:class:`~repro.transmitter.config.TransmitterConfig` (impairments included),
+the effective :class:`~repro.bist.campaign.ConverterSpec`, the full
+:class:`~repro.signals.standards.WaveformProfile` (its limits decide the
+verdicts) and the burst length — plus a schema version.
+
+The resolution mirrors :func:`repro.bist.campaign.execute_scenario` exactly,
+including the per-scenario seed derivation, so two scenarios share a
+fingerprint if and only if executing them produces bit-identical reports
+(for the same library version).  That property is what makes the store a
+safe cache: a hit can be substituted for execution without changing the
+campaign result.
+
+Bump :data:`SCHEMA_VERSION` whenever the engine's numerical behaviour or the
+archive layout changes incompatibly; old fingerprints then simply miss and
+the campaign re-executes instead of serving stale records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, replace
+
+from ..bist.campaign import CampaignScenario, ConverterSpec, scenario_bist_config
+from ..bist.engine import BistConfig
+from ..errors import ConfigurationError, ValidationError
+from ..signals.standards import WaveformProfile
+from ..transmitter.config import TransmitterConfig
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "profile_dict",
+    "scenario_fingerprint",
+    "fingerprint_payload",
+]
+
+#: Version tag mixed into every fingerprint and stamped on every store
+#: record.  Bump on any change that invalidates archived outcomes.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace.
+
+    The encoding is the hashing contract — two payloads fingerprint equal
+    exactly when their canonical JSON strings are equal.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def profile_dict(profile: WaveformProfile) -> dict:
+    """Canonical dictionary of a waveform profile (limits included).
+
+    The profile's limits take part in the fingerprint because they decide
+    the report's verdicts: retuning a mask must miss the cache.
+    """
+    if not isinstance(profile, WaveformProfile):
+        raise ValidationError("profile must be a WaveformProfile")
+    encoded = {spec.name: getattr(profile, spec.name) for spec in fields(profile)}
+    encoded["mask_points_db"] = [list(point) for point in profile.mask_points_db]
+    return encoded
+
+
+def fingerprint_payload(
+    scenario: CampaignScenario,
+    bist_config: BistConfig | None = None,
+    converter_factory=None,
+    seed: int | None | type(...) = ...,
+) -> dict:
+    """The canonical payload a scenario fingerprint hashes over.
+
+    Parameters mirror :func:`repro.bist.campaign.execute_scenario`: the
+    payload captures the *effective* inputs of the execution — per-scenario
+    engine configuration (bandwidth adaptation and delay clamping applied),
+    transmitter configuration with the derived transmitter seed, converter
+    specification with the derived jitter seed — so the fingerprint is
+    invariant to how the scenario was described and sensitive to everything
+    that changes the result.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the effective
+    converter factory is an arbitrary callable: only declarative
+    :class:`~repro.bist.campaign.ConverterSpec` factories serialize, and a
+    non-serializable factory cannot be fingerprinted safely.
+    """
+    if not isinstance(scenario, CampaignScenario):
+        raise ValidationError("scenario must be a CampaignScenario")
+    base_config = bist_config if bist_config is not None else BistConfig()
+    profile = scenario.resolved_profile()
+    config = scenario_bist_config(scenario, base_config, seed=seed)
+    factory = scenario.converter
+    if factory is None:
+        factory = converter_factory if converter_factory is not None else ConverterSpec()
+    if not isinstance(factory, ConverterSpec):
+        label = scenario.label if scenario.label is not None else profile.name
+        raise ConfigurationError(
+            f"cannot fingerprint scenario {label!r}: the converter factory "
+            f"({type(factory).__name__}) is not a ConverterSpec; the campaign store "
+            "needs declarative converter specifications to address outcomes by content"
+        )
+    # Mirror execute_scenario's seed derivation so the fingerprint tracks the
+    # exact randomness the execution would use.
+    if seed is ...:
+        transmitter_config = TransmitterConfig.from_profile(
+            profile, impairments=scenario.impairments
+        )
+    else:
+        transmitter_seed = None if seed is None else (int(seed) + 0x5DEECE66) % (2**32)
+        transmitter_config = TransmitterConfig.from_profile(
+            profile, impairments=scenario.impairments, seed=transmitter_seed
+        )
+        converter_seed = None if seed is None else (int(seed) + 0x2545F491) % (2**32)
+        factory = replace(factory, seed=converter_seed)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile_dict(profile),
+        "transmitter": transmitter_config.to_dict(),
+        "converter": factory.to_dict(),
+        "bist": config.to_dict(),
+        "num_symbols": scenario.num_symbols,
+    }
+
+
+def scenario_fingerprint(
+    scenario: CampaignScenario,
+    bist_config: BistConfig | None = None,
+    converter_factory=None,
+    seed: int | None | type(...) = ...,
+) -> str:
+    """Stable SHA-256 fingerprint (hex) of a scenario's effective inputs."""
+    payload = fingerprint_payload(
+        scenario, bist_config=bist_config, converter_factory=converter_factory, seed=seed
+    )
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

@@ -1,0 +1,281 @@
+"""The persistent, content-addressed campaign store.
+
+A :class:`CampaignStore` is a directory of append-only JSONL shards.  Each
+line is one record::
+
+    {"fingerprint": "<sha256>", "schema_version": 1, "outcome": {...}}
+
+where ``outcome`` is the full :class:`~repro.bist.runner.ScenarioOutcome`
+archive (report with PSD arrays included).  Records are keyed by the
+scenario fingerprint (:mod:`repro.store.fingerprint`), which makes the
+store:
+
+* a **cache** — a campaign run with ``store=`` skips every scenario whose
+  fingerprint is already present and substitutes the archived report;
+* **resumable** — outcomes are flushed line-by-line as scenarios complete,
+  so an interrupted campaign loses at most the in-flight scenarios and a
+  re-run serves the finished ones from disk;
+* **shardable** — distributed workers each append to their own shard file
+  (or their own store directory) and :meth:`CampaignStore.merge` combines
+  them afterwards, keeping the first record per fingerprint.
+
+Durability model: incremental puts *append* to the shard file and flush, so
+a crash can tear at most the final line; :meth:`load` (and every read path)
+skips lines that fail to parse and emits a :class:`CampaignStoreWarning`
+instead of failing the whole shard.  Whole-file writes — :meth:`compact`
+and :meth:`merge` output — go through a temporary file and an atomic
+``os.replace`` so readers never observe a half-written shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+
+from ..bist.runner import ScenarioOutcome
+from ..errors import ValidationError
+from .fingerprint import SCHEMA_VERSION, canonical_json
+
+__all__ = ["CampaignStore", "CampaignStoreWarning"]
+
+
+class CampaignStoreWarning(UserWarning):
+    """A store shard contained lines that could not be parsed."""
+
+
+def _shard_sort_key(path: Path) -> str:
+    """Deterministic shard ordering (lexicographic by file name)."""
+    return path.name
+
+
+class CampaignStore:
+    """Append-only JSONL store of campaign outcomes, keyed by fingerprint.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard files (created on first write).
+    shard:
+        Name of the shard this instance appends to.  Reads always cover
+        *every* ``*.jsonl`` shard in the directory, so concurrent writers
+        can each use their own shard name and still share one cache.
+
+    The in-memory index maps fingerprints to parsed outcomes; it is built
+    lazily on first read and kept consistent with this instance's own
+    writes.  When several records carry the same fingerprint (e.g. merged
+    shards that overlapped), the first one in shard order wins —
+    deterministically, because shards are scanned in sorted name order and
+    lines in file order.
+    """
+
+    def __init__(self, root, shard: str = "campaign") -> None:
+        self._root = Path(root)
+        if not shard or "/" in shard or "\\" in shard:
+            raise ValidationError(f"shard must be a plain file stem, got {shard!r}")
+        self._shard = shard
+        self._index: dict[str, ScenarioOutcome] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    @property
+    def shard_path(self) -> Path:
+        """The shard file this instance appends to."""
+        return self._root / f"{self._shard}.jsonl"
+
+    def shard_paths(self) -> list[Path]:
+        """Every shard file of the store, in deterministic order."""
+        if not self._root.is_dir():
+            return []
+        return sorted(self._root.glob("*.jsonl"), key=_shard_sort_key)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def _parse_line(self, line: str, path: Path, number: int) -> tuple | None:
+        """``(fingerprint, outcome)`` of one shard line, or ``None`` if bad."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+            fingerprint = record["fingerprint"]
+            version = record["schema_version"]
+            outcome = ScenarioOutcome.from_dict(record["outcome"])
+        except Exception as exc:  # noqa: BLE001 - recovery is the contract
+            warnings.warn(
+                f"skipping corrupt record at {path.name}:{number} "
+                f"({type(exc).__name__}: {exc})",
+                CampaignStoreWarning,
+                stacklevel=3,
+            )
+            return None
+        if version != SCHEMA_VERSION:
+            # A schema mismatch is not corruption: the record is simply from
+            # another library era and must not be served as a cache hit.
+            return None
+        if not isinstance(fingerprint, str):
+            warnings.warn(
+                f"skipping record with non-string fingerprint at {path.name}:{number}",
+                CampaignStoreWarning,
+                stacklevel=3,
+            )
+            return None
+        return fingerprint, outcome
+
+    def load(self) -> dict:
+        """Scan every shard into the fingerprint → outcome index.
+
+        Corrupt lines (torn appends, truncation, garbage) are skipped with a
+        :class:`CampaignStoreWarning`; duplicate fingerprints keep the first
+        record in deterministic shard order.
+        """
+        index: dict[str, ScenarioOutcome] = {}
+        for path in self.shard_paths():
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                warnings.warn(
+                    f"skipping unreadable shard {path.name} ({exc})",
+                    CampaignStoreWarning,
+                    stacklevel=2,
+                )
+                continue
+            for number, line in enumerate(text.splitlines(), start=1):
+                parsed = self._parse_line(line, path, number)
+                if parsed is None:
+                    continue
+                fingerprint, outcome = parsed
+                index.setdefault(fingerprint, outcome)
+        self._index = index
+        return dict(index)
+
+    def _ensure_index(self) -> dict:
+        if self._index is None:
+            self.load()
+        return self._index
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._ensure_index()
+
+    def __len__(self) -> int:
+        return len(self._ensure_index())
+
+    def fingerprints(self) -> list[str]:
+        """Every fingerprint in the store (deterministic order)."""
+        return sorted(self._ensure_index())
+
+    def get(self, fingerprint: str) -> ScenarioOutcome | None:
+        """The archived outcome for a fingerprint, or ``None`` on a miss."""
+        return self._ensure_index().get(fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _record_line(fingerprint: str, outcome: ScenarioOutcome) -> str:
+        return canonical_json(
+            {
+                "fingerprint": fingerprint,
+                "schema_version": SCHEMA_VERSION,
+                "outcome": outcome.to_dict(),
+            }
+        )
+
+    def put(self, fingerprint: str, outcome: ScenarioOutcome) -> bool:
+        """Append one outcome under its fingerprint; flushes immediately.
+
+        Returns ``True`` when the record was written, ``False`` when the
+        fingerprint was already present (the store is append-only and
+        first-record-wins, so re-putting is a no-op).  Only successful
+        outcomes are archived: errored scenarios must re-execute on resume
+        rather than replay a possibly-environmental failure forever.
+        """
+        if not isinstance(outcome, ScenarioOutcome):
+            raise ValidationError("outcome must be a ScenarioOutcome")
+        if not outcome.ok:
+            raise ValidationError(
+                f"refusing to archive errored scenario {outcome.label!r}; the store "
+                "only caches successful outcomes so failures re-execute on resume"
+            )
+        index = self._ensure_index()
+        if fingerprint in index:
+            return False
+        self._root.mkdir(parents=True, exist_ok=True)
+        with open(self.shard_path, "a", encoding="utf-8") as handle:
+            handle.write(self._record_line(fingerprint, outcome) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        index[fingerprint] = outcome
+        return True
+
+    def _write_shard_atomic(self, path: Path, lines: list[str]) -> None:
+        """Replace a shard file atomically (tmp file + ``os.replace``)."""
+        self._root.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}-", suffix=".jsonl.tmp", dir=str(self._root)
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write("".join(line + "\n" for line in lines))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    def compact(self) -> int:
+        """Rewrite the store as a single deduplicated, sorted shard.
+
+        Collapses every shard into this instance's shard file (atomic
+        replace), drops corrupt lines for good and removes the other shard
+        files.  Returns the number of surviving records.
+        """
+        index = self.load()
+        lines = [
+            self._record_line(fingerprint, index[fingerprint])
+            for fingerprint in sorted(index)
+        ]
+        self._write_shard_atomic(self.shard_path, lines)
+        for path in self.shard_paths():
+            if path != self.shard_path:
+                path.unlink()
+        return len(index)
+
+    def merge(self, *others) -> int:
+        """Fold other stores (or store directories) into this one.
+
+        Records new to this store are appended to the current shard in
+        deterministic order (source order, then shard order, then line
+        order); on duplicate fingerprints the *first* record — this store's
+        own, or the earliest source's — wins, so merging distributed shards
+        is idempotent and order-stable.  Returns the number of records
+        actually added.
+        """
+        index = self._ensure_index()
+        added = []
+        for other in others:
+            if not isinstance(other, CampaignStore):
+                other = CampaignStore(other)
+            for fingerprint, outcome in other.load().items():
+                if fingerprint not in index:
+                    index[fingerprint] = outcome
+                    added.append((fingerprint, outcome))
+        if added:
+            self._root.mkdir(parents=True, exist_ok=True)
+            with open(self.shard_path, "a", encoding="utf-8") as handle:
+                for fingerprint, outcome in added:
+                    handle.write(self._record_line(fingerprint, outcome) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return len(added)

@@ -22,6 +22,7 @@ from ..rf.amplifier import (
 from ..rf.impairments import DcOffset, IqImbalance
 from ..rf.oscillator import PhaseNoiseModel
 from ..signals.standards import WaveformProfile
+from ..utils.serialization import known_field_kwargs
 from ..utils.validation import check_integer, check_positive
 from .dac import TransmitDac
 
@@ -264,8 +265,8 @@ class TransmitterConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "TransmitterConfig":
-        """Rebuild a configuration serialized with :meth:`to_dict`."""
-        kwargs = dict(data)
+        """Rebuild a configuration serialized with :meth:`to_dict` (unknown keys ignored)."""
+        kwargs = known_field_kwargs(cls, data)
         impairments = kwargs.pop("impairments", None)
         if impairments is not None:
             kwargs["impairments"] = ImpairmentConfig.from_dict(impairments)

@@ -1,0 +1,32 @@
+"""Shared dataclass ↔ dict helpers for the JSON archive format.
+
+Every serializable dataclass in the archive graph follows the same two
+conventions, kept in one place here:
+
+* ``to_dict`` for flat dataclasses is just the field mapping
+  (:func:`field_dict`);
+* ``from_dict`` ignores unknown keys so archives written by *newer* library
+  versions still load on older ones (:func:`known_field_kwargs`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+__all__ = ["field_dict", "known_field_kwargs"]
+
+
+def field_dict(obj) -> dict:
+    """Shallow ``{field name: value}`` mapping of a dataclass instance."""
+    return {spec.name: getattr(obj, spec.name) for spec in fields(obj)}
+
+
+def known_field_kwargs(cls: type, data: dict) -> dict:
+    """``data`` filtered to the dataclass's own fields (unknown keys dropped).
+
+    The forward-compatibility contract of every archive ``from_dict``: keys
+    introduced by newer library versions are ignored rather than raising
+    ``TypeError`` in the constructor.
+    """
+    known = {spec.name for spec in fields(cls)}
+    return {key: value for key, value in data.items() if key in known}

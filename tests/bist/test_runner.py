@@ -217,6 +217,7 @@ class TestRunnerValidation:
             runner.run(small_grid())
 
 
+@pytest.mark.slow
 class TestRunnerExecution:
     def test_parallel_matches_serial_bit_identical(self):
         scenarios = small_grid()

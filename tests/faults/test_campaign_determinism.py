@@ -61,6 +61,7 @@ def serial_dictionary():
     return build_campaign().run(max_workers=1).dictionary()
 
 
+@pytest.mark.slow
 class TestAcceptance:
     def test_campaign_shape(self, serial_dictionary):
         assert len(serial_dictionary.records) == len(FAMILIES) * len(SEVERITIES)

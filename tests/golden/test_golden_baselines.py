@@ -1,0 +1,108 @@
+"""Golden-baseline regression vectors for the full BIST.
+
+``campaign_baseline.json`` is a committed :class:`CampaignExecution`
+archive: full BIST reports (PSD arrays included) for two waveform profiles
+plus one injected-fault scenario, produced with a fixed seed.  The tier-1
+test re-runs the identical campaign and gates the fresh reports against the
+stored ones through :class:`repro.store.BaselineComparator` — the software
+equivalent of the paper's repeatable stored-reference loopback measurement.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/golden/test_golden_baselines.py
+
+and review the diff of the committed JSON like any other code change.
+"""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bist import BistConfig, CampaignRunner, CampaignScenario
+from repro.bist.runner import CampaignExecution, ScenarioOutcome
+from repro.faults import IqImbalanceFault
+from repro.store import BaselineComparator
+from repro.transmitter import ImpairmentConfig
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+BASELINE_PATH = GOLDEN_DIR / "campaign_baseline.json"
+
+#: Reduced-but-complete engine settings (EVM measured, all checks active).
+GOLDEN_CONFIG = BistConfig(
+    num_samples_fast=128,
+    num_samples_slow=64,
+    lms_max_iterations=25,
+    num_cost_points=60,
+    measure_evm_enabled=True,
+)
+
+
+def golden_scenarios() -> tuple:
+    """The committed campaign: 2 nominal profiles + 1 fault scenario."""
+    fault = IqImbalanceFault(severity=1.0)
+    nominal = CampaignScenario(profile="paper-qpsk-1ghz")
+    return (
+        nominal,
+        CampaignScenario(profile="uhf-8psk-400mhz"),
+        fault.apply_scenario(nominal, label="paper-qpsk-1ghz/iq-imbalance-s1"),
+    )
+
+
+def build_execution() -> CampaignExecution:
+    """Run the golden campaign fresh (deterministic under the fixed seed)."""
+    return CampaignRunner(bist_config=GOLDEN_CONFIG).run(golden_scenarios())
+
+
+def load_baseline() -> CampaignExecution:
+    """The committed golden execution."""
+    return CampaignExecution.from_dict(json.loads(BASELINE_PATH.read_text()))
+
+
+@pytest.mark.smoke
+class TestGoldenBaselines:
+    def test_baseline_loads_and_round_trips(self):
+        baseline = load_baseline()
+        assert [outcome.label for outcome in baseline.outcomes] == [
+            "paper-qpsk-1ghz",
+            "uhf-8psk-400mhz",
+            "paper-qpsk-1ghz/iq-imbalance-s1",
+        ]
+        assert all(outcome.ok for outcome in baseline.outcomes)
+        rebuilt = CampaignExecution.from_dict(baseline.to_dict())
+        assert rebuilt.to_dict() == baseline.to_dict()
+
+    def test_fresh_run_agrees_with_golden_baseline(self):
+        comparison = BaselineComparator().compare(load_baseline(), build_execution())
+        assert comparison.passed, comparison.to_text()
+        # Every scenario contributed its metric set (6 numeric + verdict for
+        # the EVM-measured profiles; the 8PSK profile also measures EVM).
+        assert comparison.num_compared >= 3 * 6
+
+    def test_comparator_flags_injected_drift_against_golden(self):
+        baseline = load_baseline()
+        data = copy.deepcopy(baseline.to_dict())
+        measurements = data["outcomes"][0]["report"]["measurements"]
+        measurements["occupied_bandwidth_hz"] += 5.0e6
+        drifted = CampaignExecution.from_dict(data)
+        comparison = BaselineComparator().compare(baseline, drifted)
+        assert not comparison.passed
+        assert [(entry.label, entry.metric) for entry in comparison.drifted] == [
+            ("paper-qpsk-1ghz", "occupied_bandwidth_hz")
+        ]
+
+
+def regenerate() -> None:
+    """Rewrite the committed baseline from a fresh run."""
+    execution = build_execution()
+    for outcome in execution.outcomes:
+        assert outcome.ok, f"golden scenario {outcome.label!r} errored: {outcome.error}"
+    BASELINE_PATH.write_text(
+        json.dumps(execution.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    print(f"wrote {BASELINE_PATH} ({BASELINE_PATH.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    regenerate()

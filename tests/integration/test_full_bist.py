@@ -46,6 +46,7 @@ def campaign_result():
     return campaign.run()
 
 
+@pytest.mark.slow
 class TestCampaign:
     def test_all_scenarios_executed(self, campaign_result):
         assert len(campaign_result.reports) == 3

@@ -1,0 +1,182 @@
+"""Tests for repro.store.baseline: golden-baseline regression gating.
+
+The comparator must pass a campaign against itself, flag exactly the metric
+that was perturbed beyond tolerance, and surface structural drift (verdict
+flips, vanished or new scenarios, fresh errors) unconditionally.
+"""
+
+import copy
+from dataclasses import replace
+
+import pytest
+
+from repro.bist import BistConfig, CampaignRunner, ScenarioGrid
+from repro.bist.runner import CampaignExecution, ScenarioOutcome
+from repro.errors import ValidationError
+from repro.store import BaselineComparator, BaselineTolerances
+
+FAST_CONFIG = BistConfig(
+    num_samples_fast=128,
+    num_samples_slow=64,
+    lms_max_iterations=25,
+    num_cost_points=60,
+    measure_evm_enabled=False,
+)
+
+
+@pytest.fixture(scope="module")
+def execution() -> CampaignExecution:
+    grid = ScenarioGrid().add_profiles("paper-qpsk-1ghz", "uhf-8psk-400mhz").build()
+    return CampaignRunner(bist_config=FAST_CONFIG).run(grid)
+
+
+def perturbed(execution: CampaignExecution, label: str, mutate) -> CampaignExecution:
+    """Copy of an execution with one outcome's report dictionary mutated."""
+    outcomes = []
+    for outcome in execution.outcomes:
+        if outcome.label == label:
+            data = copy.deepcopy(outcome.to_dict())
+            mutate(data["report"])
+            outcome = ScenarioOutcome.from_dict(data)
+        outcomes.append(outcome)
+    return CampaignExecution(outcomes=tuple(outcomes))
+
+
+class TestCleanComparison:
+    def test_execution_matches_itself(self, execution):
+        report = BaselineComparator().compare(execution, execution)
+        assert report.passed
+        assert not report.drifted
+        # Five numeric metrics (EVM disabled) plus the verdict per scenario.
+        assert report.num_compared == 2 * 6
+
+    def test_within_tolerance_drift_passes(self, execution):
+        nudged = perturbed(
+            execution,
+            "paper-qpsk-1ghz",
+            lambda report: report["measurements"].__setitem__(
+                "occupied_bandwidth_hz",
+                report["measurements"]["occupied_bandwidth_hz"] + 1.0e4,
+            ),
+        )
+        comparison = BaselineComparator().compare(execution, nudged)
+        assert comparison.passed
+
+    def test_report_serialises(self, execution):
+        comparison = BaselineComparator().compare(execution, execution)
+        data = comparison.to_dict()
+        assert data["passed"] is True
+        assert data["num_compared"] == comparison.num_compared
+        assert data["tolerances"] == BaselineTolerances().to_dict()
+        assert "PASS" in comparison.to_text()
+
+
+class TestMetricDrift:
+    def test_flags_exactly_the_perturbed_metric(self, execution):
+        drifted = perturbed(
+            execution,
+            "paper-qpsk-1ghz",
+            lambda report: report["measurements"].__setitem__(
+                "occupied_bandwidth_hz",
+                report["measurements"]["occupied_bandwidth_hz"] + 5.0e6,
+            ),
+        )
+        comparison = BaselineComparator().compare(execution, drifted)
+        assert not comparison.passed
+        assert [(entry.label, entry.metric) for entry in comparison.drifted] == [
+            ("paper-qpsk-1ghz", "occupied_bandwidth_hz")
+        ]
+        entry = comparison.drifted[0]
+        assert entry.delta == pytest.approx(5.0e6)
+        assert entry.tolerance == BaselineTolerances().occupied_bandwidth_hz
+
+    def test_skew_estimate_drift_flagged(self, execution):
+        drifted = perturbed(
+            execution,
+            "uhf-8psk-400mhz",
+            lambda report: report["calibration"].__setitem__(
+                "estimated_delay_seconds",
+                report["calibration"]["estimated_delay_seconds"] + 5e-12,
+            ),
+        )
+        comparison = BaselineComparator().compare(execution, drifted)
+        assert [entry.metric for entry in comparison.drifted] == ["skew_estimate_ps"]
+
+    def test_custom_tolerances_rescale_the_gate(self, execution):
+        drifted = perturbed(
+            execution,
+            "paper-qpsk-1ghz",
+            lambda report: report["measurements"].__setitem__(
+                "occupied_bandwidth_hz",
+                report["measurements"]["occupied_bandwidth_hz"] + 5.0e6,
+            ),
+        )
+        loose = BaselineComparator(BaselineTolerances(occupied_bandwidth_hz=1.0e7))
+        assert loose.compare(execution, drifted).passed
+
+    def test_verdict_flip_always_flagged(self, execution):
+        def fail_acpr(report):
+            report["checks"]["acpr"]["verdict"] = "fail"
+
+        flipped = perturbed(execution, "paper-qpsk-1ghz", fail_acpr)
+        comparison = BaselineComparator().compare(execution, flipped)
+        assert any(
+            entry.metric == "verdict" and entry.current == "fail"
+            for entry in comparison.drifted
+        )
+
+
+class TestStructuralDrift:
+    def test_missing_scenario_flagged(self, execution):
+        shorter = CampaignExecution(outcomes=execution.outcomes[:1])
+        comparison = BaselineComparator().compare(execution, shorter)
+        assert any(
+            entry.kind == "scenario" and entry.current == "missing"
+            for entry in comparison.drifted
+        )
+
+    def test_new_scenario_flagged(self, execution):
+        shorter = CampaignExecution(outcomes=execution.outcomes[:1])
+        comparison = BaselineComparator().compare(shorter, execution)
+        assert any(
+            entry.kind == "scenario" and entry.baseline == "missing"
+            for entry in comparison.drifted
+        )
+
+    def test_fresh_error_flagged(self, execution):
+        errored_outcomes = []
+        for outcome in execution.outcomes:
+            if outcome.label == "paper-qpsk-1ghz":
+                outcome = ScenarioOutcome(
+                    index=outcome.index, label=outcome.label, error="RuntimeError: boom"
+                )
+            errored_outcomes.append(outcome)
+        errored = CampaignExecution(outcomes=tuple(errored_outcomes))
+        comparison = BaselineComparator().compare(execution, errored)
+        assert any(
+            entry.kind == "scenario" and "error" in str(entry.current)
+            for entry in comparison.drifted
+        )
+
+    def test_duplicate_labels_rejected(self, execution):
+        doubled = CampaignExecution(
+            outcomes=execution.outcomes + (replace(execution.outcomes[0], index=99),)
+        )
+        with pytest.raises(ValidationError, match="duplicate"):
+            BaselineComparator().compare(doubled, doubled)
+
+
+class TestTolerances:
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValidationError):
+            BaselineTolerances(acpr_db=-0.1)
+
+    def test_round_trip_with_unknown_keys(self):
+        tolerances = BaselineTolerances(evm_percent=1.5)
+        data = tolerances.to_dict()
+        data["__future_field__"] = 42
+        assert BaselineTolerances.from_dict(data) == tolerances
+
+    def test_type_checked_inputs(self, execution):
+        with pytest.raises(ValidationError):
+            BaselineComparator().compare(execution, "not-an-execution")

@@ -1,0 +1,116 @@
+"""End-to-end tests of the ``python -m repro.store`` command line."""
+
+import json
+
+import pytest
+
+from repro.bist.runner import CampaignExecution
+from repro.store import CampaignStore
+from repro.store.cli import main
+
+#: CLI round trips are quick, high-signal checks — part of the smoke set.
+pytestmark = pytest.mark.smoke
+
+
+def run_cli(*argv) -> int:
+    return main(list(argv))
+
+
+@pytest.fixture(scope="module")
+def populated(tmp_path_factory):
+    """A store plus archive produced by one fast CLI run."""
+    root = tmp_path_factory.mktemp("cli")
+    store = root / "store"
+    archive = root / "baseline.json"
+    code = run_cli(
+        "run",
+        "--store", str(store),
+        "--profiles", "paper-qpsk-1ghz",
+        "--fast", "--quiet",
+        "--output", str(archive),
+    )
+    assert code == 0
+    return root, store, archive
+
+
+class TestRunAndResume:
+    def test_run_writes_store_and_archive(self, populated):
+        _, store, archive = populated
+        assert len(CampaignStore(store)) == 1
+        execution = CampaignExecution.from_dict(json.loads(archive.read_text()))
+        assert [outcome.label for outcome in execution.outcomes] == ["paper-qpsk-1ghz"]
+
+    def test_resume_serves_hits_and_extends(self, populated, capsys):
+        root, store, _ = populated
+        archive = root / "extended.json"
+        code = run_cli(
+            "resume",
+            "--store", str(store),
+            "--profiles", "paper-qpsk-1ghz,uhf-8psk-400mhz",
+            "--fast", "--quiet",
+            "--output", str(archive),
+        )
+        assert code == 0
+        assert "1 cache hit(s), 1 executed" in capsys.readouterr().out
+        assert len(CampaignStore(store)) == 2
+
+    def test_resume_requires_existing_store(self, tmp_path, capsys):
+        code = run_cli(
+            "resume",
+            "--store", str(tmp_path / "missing"),
+            "--profiles", "paper-qpsk-1ghz",
+            "--fast", "--quiet",
+        )
+        assert code == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+
+class TestMerge:
+    def test_merge_folds_sources(self, populated, tmp_path):
+        _, store, _ = populated
+        destination = tmp_path / "merged"
+        assert run_cli("merge", "--into", str(destination), str(store)) == 0
+        assert CampaignStore(destination).fingerprints() == CampaignStore(
+            store
+        ).fingerprints()
+
+
+class TestCompare:
+    def test_identical_archives_pass(self, populated, tmp_path):
+        _, _, archive = populated
+        drift_path = tmp_path / "drift.json"
+        code = run_cli(
+            "compare",
+            "--baseline", str(archive),
+            "--candidate", str(archive),
+            "--output", str(drift_path),
+        )
+        assert code == 0
+        drift = json.loads(drift_path.read_text())
+        assert drift["passed"] is True
+        assert drift["num_drifted"] == 0
+
+    def test_injected_drift_fails_with_exit_code(self, populated, tmp_path, capsys):
+        _, _, archive = populated
+        data = json.loads(archive.read_text())
+        measurements = data["outcomes"][0]["report"]["measurements"]
+        measurements["occupied_bandwidth_hz"] += 5.0e6
+        candidate = tmp_path / "drifted.json"
+        candidate.write_text(json.dumps(data))
+        code = run_cli("compare", "--baseline", str(archive), "--candidate", str(candidate))
+        assert code == 1
+        assert "occupied_bandwidth_hz" in capsys.readouterr().out
+
+    def test_tolerance_override_can_absorb_drift(self, populated, tmp_path):
+        _, _, archive = populated
+        data = json.loads(archive.read_text())
+        data["outcomes"][0]["report"]["measurements"]["occupied_bandwidth_hz"] += 5.0e6
+        candidate = tmp_path / "drifted.json"
+        candidate.write_text(json.dumps(data))
+        code = run_cli(
+            "compare",
+            "--baseline", str(archive),
+            "--candidate", str(candidate),
+            "--tol-occupied-bandwidth-hz", "1e7",
+        )
+        assert code == 0
