@@ -1,0 +1,108 @@
+"""OFDM multicarrier BIST campaign quickstart.
+
+Runs the OFDM waveform family through the full loopback BIST: a small
+profile x impairment grid through :class:`~repro.bist.CampaignRunner`
+(optionally in parallel) with a :class:`~repro.store.CampaignStore`
+attached, then resumes the identical campaign from the store to show the
+archive round trip (every scenario served as a cache hit, bit-identical
+reports).
+
+Usage::
+
+    PYTHONPATH=src python examples/ofdm_campaign.py [--fast] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from repro.bist import BistConfig, CampaignRunner, ScenarioGrid
+from repro.faults import IqImbalanceFault
+from repro.signals import get_profile, list_profiles
+from repro.store import CampaignStore
+from repro.transmitter import ImpairmentConfig
+
+FULL_CONFIG = BistConfig()
+FAST_CONFIG = BistConfig(
+    num_samples_fast=128,
+    num_samples_slow=64,
+    lms_max_iterations=25,
+    num_cost_points=60,
+)
+
+
+def build_grid() -> ScenarioGrid:
+    """Both OFDM profiles x (nominal, IQ-imbalance) — a 4-scenario grid."""
+    ofdm_profiles = [name for name in list_profiles() if get_profile(name).family == "ofdm"]
+    return (
+        ScenarioGrid()
+        .add_profiles(*ofdm_profiles)
+        .add_impairment("nominal", ImpairmentConfig())
+        .add_impairment(
+            "iq-imbalance",
+            IqImbalanceFault(severity=1.0).apply_transmitter(ImpairmentConfig()),
+        )
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="reduced engine settings")
+    parser.add_argument("--workers", type=int, default=1, help="process-pool width")
+    parser.add_argument("--store", type=Path, default=None, help="campaign store directory")
+    parser.add_argument("--output", type=Path, default=None, help="write the summary JSON here")
+    args = parser.parse_args()
+
+    config = FAST_CONFIG if args.fast else FULL_CONFIG
+    store_dir = args.store if args.store is not None else Path(tempfile.mkdtemp()) / "store"
+    scenarios = build_grid().build()
+
+    store = CampaignStore(store_dir)
+    runner = CampaignRunner(
+        bist_config=config,
+        max_workers=args.workers,
+        seed_policy="per-scenario",
+        store=store,
+    )
+    execution = runner.run(scenarios)
+    print(execution.summary().to_text())
+    for outcome in execution.outcomes:
+        if not outcome.ok:
+            print(f"  {outcome.label}: ERROR ({outcome.error})")
+            continue
+        per_subcarrier = outcome.report.measurements.per_subcarrier_evm_percent
+        worst = max(per_subcarrier) if per_subcarrier else float("nan")
+        print(
+            f"  {outcome.label}: EVM {outcome.report.measurements.evm_percent:.2f}% "
+            f"(worst subcarrier {worst:.2f}%), flatness "
+            f"{outcome.report.measurements.spectral_flatness_db:.2f} dB"
+        )
+
+    # Resume from the store: every scenario must be served from the archive.
+    resumed = CampaignRunner(
+        bist_config=config,
+        max_workers=args.workers,
+        seed_policy="per-scenario",
+        store=CampaignStore(store_dir),
+    ).run(scenarios)
+    hits = resumed.cache_hits
+    print(f"resume: {hits}/{len(scenarios)} scenarios served from the store")
+    assert hits == len(scenarios), "resume must be fully cached"
+    assert json.dumps(
+        [outcome.report.to_dict() for outcome in resumed.outcomes], sort_keys=True
+    ) == json.dumps(
+        [outcome.report.to_dict() for outcome in execution.outcomes], sort_keys=True
+    ), "resumed reports must be bit-identical"
+    print("store round trip: resumed reports bit-identical")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(execution.summary().to_dict(), indent=2))
+        print(f"wrote {args.output}")
+    return 0 if all(outcome.ok for outcome in execution.outcomes) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from ..adc.adc import AdcChannel
 from ..adc.mismatch import ChannelMismatch
 from ..adc.quantizer import UniformQuantizer
@@ -36,8 +38,10 @@ __all__ = [
     "ConverterSpec",
     "default_converter",
     "scenario_bandwidth",
+    "scenario_num_samples_fast",
     "scenario_bist_config",
     "execute_scenario",
+    "MIN_OFDM_SYMBOLS_IN_WINDOW",
 ]
 
 
@@ -202,6 +206,32 @@ def scenario_bandwidth(profile: WaveformProfile, bist_config: BistConfig) -> flo
     return min(nominal, max(needed, 2.5 * profile.occupied_bandwidth_hz))
 
 
+#: Whole OFDM symbols the fast acquisition window is sized to contain (the
+#: per-subcarrier EVM averages over them; fewer than two is unusable).
+MIN_OFDM_SYMBOLS_IN_WINDOW = 6
+
+
+def scenario_num_samples_fast(
+    profile: WaveformProfile, bandwidth_hz: float, base_config: BistConfig
+) -> int:
+    """Fast-acquisition sample count adapted to the profile's waveform family.
+
+    Single-carrier profiles keep the configured count.  OFDM symbols are
+    long compared to the acquisition window (one symbol spans
+    ``fft + cp`` critical samples at a rate comparable to the acquisition
+    bandwidth), so the window is grown — never shrunk — until it holds
+    :data:`MIN_OFDM_SYMBOLS_IN_WINDOW` whole symbols plus the
+    reconstruction-kernel margin the valid interval loses at each edge.
+    """
+    if profile.family != "ofdm":
+        return base_config.num_samples_fast
+    symbol_duration = profile.ofdm.symbol_duration_seconds(profile.symbol_rate_hz)
+    needed = int(
+        np.ceil(MIN_OFDM_SYMBOLS_IN_WINDOW * symbol_duration * bandwidth_hz)
+    ) + base_config.num_taps + 16
+    return max(base_config.num_samples_fast, needed)
+
+
 def scenario_bist_config(
     scenario: CampaignScenario,
     base_config: BistConfig,
@@ -226,6 +256,7 @@ def scenario_bist_config(
         base_config,
         acquisition_bandwidth_hz=bandwidth,
         programmed_delay_seconds=clamped_delay,
+        num_samples_fast=scenario_num_samples_fast(profile, bandwidth, base_config),
     )
     if seed is not ...:
         config = replace(config, seed=seed)

@@ -37,10 +37,12 @@ from ..utils.serialization import field_dict, known_field_kwargs
 from ..utils.validation import check_integer, check_positive
 from .masks import SpectralMask
 from .measurements import (
+    OFDM_DENSE_OVERSAMPLING,
     TxMeasurements,
     measure_acpr,
     measure_evm,
     measure_occupied_bandwidth,
+    measure_ofdm_evm,
     measure_spectrum_from_samples,
     render_uniform,
 )
@@ -307,7 +309,20 @@ class TransmitterBist:
         config = self._config
         profile = self._profile
         valid_low, valid_high = reconstructor.valid_time_range()
-        _, samples, rate = render_uniform(reconstructor, valid_low, valid_high)
+        # OFDM windows render once at the reduced shared rate (see
+        # OFDM_DENSE_OVERSAMPLING), snapped to an integer multiple of the
+        # envelope rate so the same render feeds both the spectrum and the
+        # EVM demodulation; the single-carrier rate is untouched.
+        dense_rate = None
+        if burst.config.ofdm is not None:
+            envelope_rate = burst.config.envelope_sample_rate
+            dense_rate = (
+                np.ceil(OFDM_DENSE_OVERSAMPLING * self._band.f_high / envelope_rate)
+                * envelope_rate
+            )
+        times, samples, rate = render_uniform(
+            reconstructor, valid_low, valid_high, sample_rate=dense_rate
+        )
         output_power = float(np.mean(samples**2))
         spectrum = measure_spectrum_from_samples(
             samples, rate, bandwidth_hz=reconstructor.kernel.band.bandwidth
@@ -324,9 +339,24 @@ class TransmitterBist:
             search_half_width_hz=config.acquisition_bandwidth_hz / 2.0,
         )
         evm = None
+        per_subcarrier = None
+        subcarrier_indices = None
+        flatness = None
         if config.measure_evm_enabled:
             try:
-                evm = measure_evm(reconstructor, burst)
+                if burst.config.ofdm is not None:
+                    # OFDM family: synchronized demodulation yields the
+                    # aggregate EVM plus the per-subcarrier structure; it
+                    # reuses the dense render from above.
+                    ofdm_metrics = measure_ofdm_evm(
+                        reconstructor, burst, dense_render=(times, samples, rate)
+                    )
+                    evm = ofdm_metrics.evm_percent
+                    per_subcarrier = ofdm_metrics.per_subcarrier_evm_percent
+                    subcarrier_indices = ofdm_metrics.subcarrier_indices
+                    flatness = ofdm_metrics.spectral_flatness_db
+                else:
+                    evm = measure_evm(reconstructor, burst)
             except MeasurementError:
                 evm = None
         return TxMeasurements(
@@ -335,6 +365,9 @@ class TransmitterBist:
             occupied_bandwidth_hz=obw,
             evm_percent=evm,
             spectrum=spectrum,
+            per_subcarrier_evm_percent=per_subcarrier,
+            subcarrier_indices=subcarrier_indices,
+            spectral_flatness_db=flatness,
         )
 
     def _evaluate(self, measurements: TxMeasurements):
@@ -382,6 +415,24 @@ class TransmitterBist:
                     details="RMS EVM, percent",
                 )
             )
+
+        if profile.family == "ofdm" and profile.flatness_limit_db is not None:
+            if measurements.spectral_flatness_db is None:
+                checks.append(CheckResult(name="spectral_flatness", verdict=Verdict.SKIPPED))
+            else:
+                checks.append(
+                    CheckResult(
+                        name="spectral_flatness",
+                        verdict=(
+                            Verdict.PASS
+                            if measurements.spectral_flatness_db <= profile.flatness_limit_db
+                            else Verdict.FAIL
+                        ),
+                        measured=measurements.spectral_flatness_db,
+                        limit=profile.flatness_limit_db,
+                        details="per-subcarrier power spread (max/min), dB",
+                    )
+                )
 
         mask_result = None
         if profile.mask_points_db:

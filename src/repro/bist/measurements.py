@@ -30,19 +30,31 @@ from ..dsp.spectrum import (
 )
 from ..errors import MeasurementError, ValidationError
 from ..sampling.reconstruction import NonuniformReconstructor
+from ..signals.ofdm import OfdmDemodulator, OfdmGridMetrics, build_used_grid, ofdm_grid_metrics
 from ..transmitter.chain import TransmissionResult
 from ..utils.validation import check_integer, check_positive
 
 __all__ = [
+    "OFDM_DENSE_OVERSAMPLING",
     "render_uniform",
     "reconstructed_envelope",
+    "envelope_from_dense_samples",
     "measure_spectrum",
     "measure_spectrum_from_samples",
     "measure_acpr",
     "measure_occupied_bandwidth",
     "measure_evm",
+    "measure_ofdm_evm",
     "TxMeasurements",
 ]
+
+#: Dense-render rate multiple of the band's upper edge used by the OFDM
+#: measurement paths.  OFDM acquisition windows are sized in whole OFDM
+#: symbols and are an order of magnitude longer than single-carrier ones;
+#: 2.5 x f_high still comfortably oversamples the band-limited
+#: reconstruction while keeping the render affordable.  Single-carrier
+#: measurements keep :func:`render_uniform`'s 4 x f_high default.
+OFDM_DENSE_OVERSAMPLING = 2.5
 
 
 def render_uniform(
@@ -127,13 +139,43 @@ def reconstructed_envelope(
     times, samples, dense = render_uniform(
         reconstructor, start_time, stop_time, sample_rate=dense_rate
     )
+    return envelope_from_dense_samples(
+        times,
+        samples,
+        dense,
+        carrier_frequency_hz=carrier_frequency_hz,
+        envelope_rate=envelope_rate,
+        filter_taps=filter_taps,
+    )
+
+
+def envelope_from_dense_samples(
+    times: np.ndarray,
+    samples: np.ndarray,
+    dense_rate: float,
+    carrier_frequency_hz: float,
+    envelope_rate: float,
+    filter_taps: int = 129,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Complex envelope of an already-rendered dense passband record.
+
+    Split out of :func:`reconstructed_envelope` so callers that have
+    rendered the reconstruction once (the BIST engine shares a single dense
+    render between the spectrum and OFDM EVM measurements) do not pay for a
+    second full reconstruction pass.  ``dense_rate`` should be an integer
+    multiple of ``envelope_rate`` for drift-free decimation.
+    """
+    carrier_frequency_hz = check_positive(carrier_frequency_hz, "carrier_frequency_hz")
+    envelope_rate = check_positive(envelope_rate, "envelope_rate")
     analytic = samples * np.exp(-2j * np.pi * carrier_frequency_hz * times)
     cutoff = min(envelope_rate / 2.0, carrier_frequency_hz * 0.8)
-    taps = lowpass_fir(cutoff, dense, num_taps=check_integer(filter_taps, "filter_taps", minimum=31))
+    taps = lowpass_fir(
+        cutoff, dense_rate, num_taps=check_integer(filter_taps, "filter_taps", minimum=31)
+    )
     filtered = np.convolve(analytic, taps.astype(complex))
     bulk = (len(taps) - 1) // 2
     filtered = filtered[bulk : bulk + samples.size]
-    decimation = max(1, int(round(dense / envelope_rate)))
+    decimation = max(1, int(round(dense_rate / envelope_rate)))
     # Factor 2: the complex mixing halves the envelope amplitude.
     return times[::decimation], 2.0 * filtered[::decimation]
 
@@ -279,6 +321,101 @@ def measure_evm(
     return error_vector_magnitude(reference, aligned, as_percent=True)
 
 
+def measure_ofdm_evm(
+    reconstructor: NonuniformReconstructor,
+    burst: TransmissionResult,
+    timing_backoff: int | None = None,
+    dense_render: tuple | None = None,
+) -> OfdmGridMetrics:
+    """Per-subcarrier EVM and spectral flatness of a reconstructed OFDM burst.
+
+    The reconstructed output is mixed down to the complex envelope,
+    band-limit interpolated onto the exact sample grid of every OFDM symbol
+    that falls completely inside the reconstructor's valid interval, and
+    demodulated with the synchronized :class:`~repro.signals.ofdm.OfdmDemodulator`
+    (the burst starts at t = 0, so symbol boundaries are known exactly).
+    The received grid is compared against the known transmitted grid after
+    a least-squares common complex-gain alignment.
+
+    Parameters
+    ----------
+    reconstructor:
+        The calibrated nonuniform reconstructor.
+    burst:
+        The transmission whose data grid is the reference; its
+        configuration must carry OFDM parameters.
+    timing_backoff:
+        FFT-window advance into the cyclic prefix, in critical samples
+        (phase-compensated exactly); defaults to a quarter of the CP, which
+        keeps the window inside the ISI-free region under small residual
+        timing error in either direction.
+    dense_render:
+        Optional ``(times, samples, sample_rate)`` dense render of the
+        reconstruction over its valid interval (as returned by
+        :func:`render_uniform`), letting the caller share one render
+        between this and the spectrum measurement; the rate should be an
+        integer multiple of the burst's envelope rate.  When ``None``, the
+        reconstruction is rendered here at
+        :data:`OFDM_DENSE_OVERSAMPLING` times the band's upper edge.
+    """
+    if not isinstance(burst, TransmissionResult):
+        raise ValidationError("burst must be a TransmissionResult")
+    config = burst.config
+    params = config.ofdm
+    if params is None:
+        raise MeasurementError("measure_ofdm_evm needs an OFDM burst (config.ofdm is None)")
+    if timing_backoff is None:
+        timing_backoff = params.cp_length // 4
+    envelope_rate = config.envelope_sample_rate
+    if dense_render is None:
+        valid_low, valid_high = reconstructor.valid_time_range()
+        band = reconstructor.kernel.band
+        dense_rate = (
+            np.ceil(OFDM_DENSE_OVERSAMPLING * band.f_high / envelope_rate) * envelope_rate
+        )
+        dense_render = render_uniform(
+            reconstructor, valid_low, valid_high, sample_rate=dense_rate
+        )
+    dense_times, dense_samples, dense_rate = dense_render
+    times, envelope = envelope_from_dense_samples(
+        dense_times,
+        dense_samples,
+        dense_rate,
+        carrier_frequency_hz=config.carrier_frequency_hz,
+        envelope_rate=envelope_rate,
+    )
+
+    symbol_duration = params.symbol_duration_seconds(config.symbol_rate_hz)
+    margin = 4.0 / envelope_rate
+    first_symbol = int(np.ceil((times[0] + margin) / symbol_duration))
+    last_symbol = int(np.floor((times[-1] - margin) / symbol_duration)) - 1
+    total_symbols = burst.symbols.size // params.num_data_subcarriers
+    last_symbol = min(last_symbol, total_symbols - 1)
+    num_symbols = last_symbol - first_symbol + 1
+    if num_symbols < 2:
+        raise MeasurementError(
+            "fewer than two whole OFDM symbols fall inside the reconstructed "
+            "interval; acquire a longer record or shorten the OFDM symbol"
+        )
+
+    # Resample the envelope onto the exact OFDM sample grid of the kept
+    # symbols (band-limited interpolation; the grids are not phase-aligned).
+    samples_per_symbol = params.symbol_length * config.samples_per_symbol
+    grid_times = first_symbol * symbol_duration + (
+        np.arange(num_symbols * samples_per_symbol) / envelope_rate
+    )
+    stream = sinc_interpolate(
+        envelope, envelope_rate, grid_times, start_time=times[0], num_taps=32
+    )
+
+    demodulator = OfdmDemodulator(params, oversampling=config.samples_per_symbol)
+    received = demodulator.demodulate(
+        stream, num_symbols=num_symbols, timing_backoff=timing_backoff
+    )
+    reference = build_used_grid(params, burst.symbols)[first_symbol : last_symbol + 1]
+    return ofdm_grid_metrics(params, reference, received)
+
+
 def burst_pulse_taps(burst: TransmissionResult) -> np.ndarray:
     """The SRRC taps used by the transmitter that produced ``burst``."""
     from ..signals.pulse_shaping import root_raised_cosine_taps
@@ -303,8 +440,18 @@ class TxMeasurements:
         99 % occupied bandwidth.
     evm_percent:
         RMS EVM against the transmitted symbols (``None`` when not measured).
+        For OFDM bursts this is the aggregate over every used subcarrier.
     spectrum:
         The Welch PSD estimate the other quantities were derived from.
+    per_subcarrier_evm_percent:
+        Per-subcarrier RMS EVM (ascending subcarrier order) for OFDM
+        bursts; ``None`` for single-carrier measurements.
+    subcarrier_indices:
+        Signed used-subcarrier indices matching the per-subcarrier EVM
+        entries (``None`` for single-carrier).
+    spectral_flatness_db:
+        Per-subcarrier received-power spread (dB) for OFDM bursts;
+        ``None`` for single-carrier.
     """
 
     output_power: float
@@ -312,6 +459,9 @@ class TxMeasurements:
     occupied_bandwidth_hz: float
     evm_percent: float | None
     spectrum: SpectrumEstimate
+    per_subcarrier_evm_percent: tuple | None = None
+    subcarrier_indices: tuple | None = None
+    spectral_flatness_db: float | None = None
 
     def to_dict(self) -> dict:
         """Plain JSON-friendly dictionary (see :meth:`from_dict`)."""
@@ -321,15 +471,37 @@ class TxMeasurements:
             "occupied_bandwidth_hz": self.occupied_bandwidth_hz,
             "evm_percent": self.evm_percent,
             "spectrum": self.spectrum.to_dict(),
+            "per_subcarrier_evm_percent": (
+                None
+                if self.per_subcarrier_evm_percent is None
+                else [float(v) for v in self.per_subcarrier_evm_percent]
+            ),
+            "subcarrier_indices": (
+                None
+                if self.subcarrier_indices is None
+                else [int(k) for k in self.subcarrier_indices]
+            ),
+            "spectral_flatness_db": self.spectral_flatness_db,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "TxMeasurements":
-        """Rebuild measurements serialized with :meth:`to_dict`."""
+        """Rebuild measurements serialized with :meth:`to_dict`.
+
+        Archives written before the OFDM family simply lack the
+        per-subcarrier keys and load with those fields ``None``.
+        """
+        per_subcarrier = data.get("per_subcarrier_evm_percent")
+        indices = data.get("subcarrier_indices")
         return cls(
             output_power=data["output_power"],
             acpr_db=dict(data["acpr_db"]),
             occupied_bandwidth_hz=data["occupied_bandwidth_hz"],
             evm_percent=data["evm_percent"],
             spectrum=SpectrumEstimate.from_dict(data["spectrum"]),
+            per_subcarrier_evm_percent=(
+                None if per_subcarrier is None else tuple(float(v) for v in per_subcarrier)
+            ),
+            subcarrier_indices=None if indices is None else tuple(int(k) for k in indices),
+            spectral_flatness_db=data.get("spectral_flatness_db"),
         )

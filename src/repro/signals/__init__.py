@@ -11,6 +11,14 @@ from .constellations import (
     qpsk,
 )
 from .multitone import ToneSignal, multitone_in_band, single_tone
+from .ofdm import (
+    OfdmDemodulator,
+    OfdmGridMetrics,
+    OfdmModulator,
+    OfdmParams,
+    build_used_grid,
+    ofdm_grid_metrics,
+)
 from .passband import AnalogSignal, CallableSignal, CompositeSignal, ModulatedPassbandSignal
 from .pulse_shaping import (
     PulseShaper,
@@ -18,7 +26,13 @@ from .pulse_shaping import (
     raised_cosine_taps,
     root_raised_cosine_taps,
 )
-from .standards import PROFILES, WaveformProfile, get_profile, list_profiles
+from .standards import (
+    PROFILES,
+    WAVEFORM_FAMILIES,
+    WaveformProfile,
+    get_profile,
+    list_profiles,
+)
 from .symbols import (
     PRBS_POLYNOMIALS,
     SymbolSource,
@@ -40,6 +54,12 @@ __all__ = [
     "ToneSignal",
     "multitone_in_band",
     "single_tone",
+    "OfdmDemodulator",
+    "OfdmGridMetrics",
+    "OfdmModulator",
+    "OfdmParams",
+    "build_used_grid",
+    "ofdm_grid_metrics",
     "AnalogSignal",
     "CallableSignal",
     "CompositeSignal",
@@ -49,6 +69,7 @@ __all__ = [
     "raised_cosine_taps",
     "root_raised_cosine_taps",
     "PROFILES",
+    "WAVEFORM_FAMILIES",
     "WaveformProfile",
     "get_profile",
     "list_profiles",

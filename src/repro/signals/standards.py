@@ -23,9 +23,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ValidationError
+from ..utils.serialization import known_field_kwargs
 from ..utils.validation import check_positive
+from .ofdm import OfdmParams
 
-__all__ = ["WaveformProfile", "PROFILES", "get_profile", "list_profiles"]
+__all__ = [
+    "WAVEFORM_FAMILIES",
+    "WaveformProfile",
+    "PROFILES",
+    "get_profile",
+    "list_profiles",
+]
+
+#: Waveform families the transmitter chain and the BIST know how to handle.
+WAVEFORM_FAMILIES = ("single-carrier", "ofdm")
 
 
 @dataclass(frozen=True)
@@ -39,7 +50,9 @@ class WaveformProfile:
     carrier_frequency_hz:
         RF carrier the profile transmits at.
     symbol_rate_hz:
-        Modulation symbol rate.
+        Modulation symbol rate.  For the OFDM family this is the
+        *critically sampled baseband rate* (the subcarrier spacing times the
+        FFT size); see :mod:`repro.signals.ofdm`.
     modulation:
         Constellation name understood by
         :func:`repro.signals.get_constellation`.
@@ -56,6 +69,16 @@ class WaveformProfile:
     mask_points_db:
         Spectral emission mask as ``(offset_hz, limit_db)`` breakpoints
         relative to the channel centre and the in-band PSD peak.
+    family:
+        Waveform family discriminator: ``"single-carrier"`` (the default)
+        or ``"ofdm"``; the transmitter chain and the BIST measurement
+        layer dispatch on it.
+    ofdm:
+        :class:`~repro.signals.ofdm.OfdmParams` of an OFDM profile
+        (required when ``family == "ofdm"``, forbidden otherwise).
+    flatness_limit_db:
+        Maximum tolerated per-subcarrier spectral-flatness spread (dB);
+        only checked for OFDM profiles, optional even there.
     """
 
     name: str
@@ -68,6 +91,9 @@ class WaveformProfile:
     acpr_limit_db: float
     evm_limit_percent: float
     mask_points_db: tuple = field(default=())
+    family: str = "single-carrier"
+    ofdm: OfdmParams | None = None
+    flatness_limit_db: float | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.carrier_frequency_hz, "carrier_frequency_hz")
@@ -80,11 +106,67 @@ class WaveformProfile:
             raise ValidationError("acpr_limit_db must be negative")
         if self.evm_limit_percent <= 0.0:
             raise ValidationError("evm_limit_percent must be positive")
+        if self.family not in WAVEFORM_FAMILIES:
+            raise ValidationError(
+                f"unknown waveform family {self.family!r}; supported: {WAVEFORM_FAMILIES}"
+            )
+        if self.family == "ofdm":
+            if not isinstance(self.ofdm, OfdmParams):
+                raise ValidationError("an 'ofdm' family profile needs OfdmParams in 'ofdm'")
+        elif self.ofdm is not None:
+            raise ValidationError(
+                f"profile family {self.family!r} must not carry OFDM parameters"
+            )
+        if self.flatness_limit_db is not None and self.flatness_limit_db <= 0.0:
+            raise ValidationError("flatness_limit_db must be positive (or None)")
 
     @property
     def occupied_bandwidth_hz(self) -> float:
-        """Approximate occupied bandwidth ``(1 + rolloff) * symbol_rate``."""
+        """Approximate occupied bandwidth of the profile's waveform.
+
+        ``(1 + rolloff) * symbol_rate`` for single-carrier profiles; the
+        used-subcarrier span (plus one spacing of skirt) for OFDM.
+        """
+        if self.family == "ofdm":
+            return self.ofdm.occupied_bandwidth_hz(self.symbol_rate_hz)
         return (1.0 + self.rolloff) * self.symbol_rate_hz
+
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dictionary (exact round trip via :meth:`from_dict`).
+
+        The dictionary is complete — limits, mask breakpoints and OFDM
+        parameters included — so custom profiles archive symmetrically with
+        the other campaign configuration dataclasses, and it doubles as the
+        profile's canonical form for store fingerprinting (see
+        :mod:`repro.store.fingerprint`).
+        """
+        return {
+            "name": self.name,
+            "carrier_frequency_hz": self.carrier_frequency_hz,
+            "symbol_rate_hz": self.symbol_rate_hz,
+            "modulation": self.modulation,
+            "rolloff": self.rolloff,
+            "channel_bandwidth_hz": self.channel_bandwidth_hz,
+            "channel_spacing_hz": self.channel_spacing_hz,
+            "acpr_limit_db": self.acpr_limit_db,
+            "evm_limit_percent": self.evm_limit_percent,
+            "mask_points_db": [list(point) for point in self.mask_points_db],
+            "family": self.family,
+            "ofdm": None if self.ofdm is None else self.ofdm.to_dict(),
+            "flatness_limit_db": self.flatness_limit_db,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WaveformProfile":
+        """Rebuild a profile serialized with :meth:`to_dict` (unknown keys ignored)."""
+        kwargs = known_field_kwargs(cls, data)
+        kwargs["mask_points_db"] = tuple(
+            tuple(point) for point in kwargs.get("mask_points_db", ())
+        )
+        ofdm = kwargs.get("ofdm")
+        if ofdm is not None and not isinstance(ofdm, OfdmParams):
+            kwargs["ofdm"] = OfdmParams.from_dict(ofdm)
+        return cls(**kwargs)
 
 
 #: Built-in representative waveform profiles, keyed by name.
@@ -180,6 +262,66 @@ PROFILES: dict[str, WaveformProfile] = {
                 (10.0e6, -36.0),
                 (20.0e6, -38.0),
             ),
+        ),
+        # OFDM family.  Subcarrier spacing is symbol_rate / fft_size; both
+        # profiles keep 312.5 kHz spacing (an 802.15.4g/802.11-style comb)
+        # and short symbols so several OFDM symbols fit inside the BIST's
+        # acquisition window.  Mask depths stay above the architecture's
+        # reconstruction noise floor (~ -20 log10(2 pi fc sigma_jitter):
+        # about -43 dB at 400 MHz and -31 dB at 1.5 GHz for 3 ps rms skew
+        # jitter), and the ACPR limits budget for the slow sinc skirts of
+        # unwindowed OFDM.
+        WaveformProfile(
+            name="ofdm-uhf-qpsk-400mhz",
+            carrier_frequency_hz=400.0e6,
+            symbol_rate_hz=10.0e6,
+            modulation="qpsk",
+            rolloff=0.0,
+            channel_bandwidth_hz=12.5e6,
+            channel_spacing_hz=12.5e6,
+            acpr_limit_db=-22.0,
+            evm_limit_percent=14.0,
+            mask_points_db=(
+                (0.0, 0.0),
+                (4.5e6, 0.0),
+                (6.5e6, -17.0),
+                (12.5e6, -24.0),
+                (25.0e6, -29.0),
+            ),
+            family="ofdm",
+            ofdm=OfdmParams(
+                fft_size=32,
+                num_subcarriers=26,
+                cp_length=8,
+                pilot_spacing=7,
+            ),
+            flatness_limit_db=6.0,
+        ),
+        WaveformProfile(
+            name="ofdm-lband-16qam-1p5ghz",
+            carrier_frequency_hz=1.5e9,
+            symbol_rate_hz=40.0e6,
+            modulation="16qam",
+            rolloff=0.0,
+            channel_bandwidth_hz=40.0e6,
+            channel_spacing_hz=40.0e6,
+            acpr_limit_db=-22.0,
+            evm_limit_percent=12.0,
+            mask_points_db=(
+                (0.0, 0.0),
+                (17.0e6, 0.0),
+                (24.0e6, -14.0),
+                (40.0e6, -20.0),
+                (80.0e6, -24.0),
+            ),
+            family="ofdm",
+            ofdm=OfdmParams(
+                fft_size=64,
+                num_subcarriers=52,
+                cp_length=16,
+                pilot_spacing=9,
+            ),
+            flatness_limit_db=6.0,
         ),
     )
 }

@@ -16,6 +16,7 @@ metrics a production gate cares about:
 * EVM,
 * spectral-mask margin,
 * the skew estimate (ps),
+* the OFDM per-subcarrier spectral flatness (when measured),
 * and pass/fail verdict flips.
 
 Each metric has its own tolerance (:class:`BaselineTolerances`); anything
@@ -51,6 +52,7 @@ class BaselineTolerances:
     evm_percent: float = 0.25
     mask_margin_db: float = 0.5
     skew_estimate_ps: float = 1.0
+    spectral_flatness_db: float = 0.5
 
     def __post_init__(self) -> None:
         for spec in fields(self):
@@ -169,6 +171,11 @@ def _report_metrics(report: BistReport) -> dict:
         ),
         "mask_margin_db": None if mask_margin is None else float(mask_margin),
         "skew_estimate_ps": float(report.calibration.estimated_delay_seconds * 1e12),
+        "spectral_flatness_db": (
+            None
+            if report.measurements.spectral_flatness_db is None
+            else float(report.measurements.spectral_flatness_db)
+        ),
     }
 
 
@@ -200,6 +207,7 @@ class BaselineComparator:
                 "evm_percent": "evm_percent",
                 "mask_margin_db": "mask_margin_db",
                 "skew_estimate_ps": "skew_estimate_ps",
+                "spectral_flatness_db": "spectral_flatness_db",
             }[metric],
         )
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import fields, replace
+from dataclasses import replace
 
 from ..bist.campaign import CampaignScenario, ConverterSpec, scenario_bist_config
 from ..bist.engine import BistConfig
@@ -43,7 +43,9 @@ __all__ = [
 
 #: Version tag mixed into every fingerprint and stamped on every store
 #: record.  Bump on any change that invalidates archived outcomes.
-SCHEMA_VERSION = 1
+#: v2: waveform-family fields (family / ofdm / flatness limit) joined the
+#: profile payload and reports grew per-subcarrier OFDM metrics.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(payload) -> str:
@@ -59,13 +61,13 @@ def profile_dict(profile: WaveformProfile) -> dict:
     """Canonical dictionary of a waveform profile (limits included).
 
     The profile's limits take part in the fingerprint because they decide
-    the report's verdicts: retuning a mask must miss the cache.
+    the report's verdicts: retuning a mask must miss the cache.  This is
+    the profile's own archive form, so family discriminator and OFDM
+    parameters are covered too.
     """
     if not isinstance(profile, WaveformProfile):
         raise ValidationError("profile must be a WaveformProfile")
-    encoded = {spec.name: getattr(profile, spec.name) for spec in fields(profile)}
-    encoded["mask_points_db"] = [list(point) for point in profile.mask_points_db]
-    return encoded
+    return profile.to_dict()
 
 
 def fingerprint_payload(

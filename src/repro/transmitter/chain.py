@@ -2,12 +2,20 @@
 
 :class:`HomodyneTransmitter` assembles the full chain
 
-    symbols -> SRRC pulse shaping -> I/Q DAC -> quadrature modulator
+    symbols -> baseband modulator -> I/Q DAC -> quadrature modulator
     (IQ imbalance, DC offset, LO phase noise) -> PA -> output band-pass filter
 
 and produces both the RF passband signal seen by the BIST sampler and the
 reference information (transmitted symbols, ideal envelope) the measurement
 code needs to compute EVM and reconstruction errors against ground truth.
+
+The baseband modulator dispatches on the configuration's waveform family:
+single-carrier configurations shape their symbols with an SRRC
+:class:`~repro.signals.pulse_shaping.PulseShaper`; OFDM configurations map
+them onto subcarriers through an
+:class:`~repro.signals.ofdm.OfdmModulator` (guard bands, DC null, pilots,
+cyclic prefix).  Everything downstream of the baseband envelope — DAC,
+quadrature modulator, PA, output filter, noise — is family-agnostic.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from ..rf.noise import add_noise_for_snr
 from ..rf.oscillator import LocalOscillator
 from ..signals.baseband import ComplexEnvelope
 from ..signals.constellations import Constellation, get_constellation
+from ..signals.ofdm import OfdmModulator
 from ..signals.passband import ModulatedPassbandSignal
 from ..signals.pulse_shaping import PulseShaper, root_raised_cosine_taps
 from ..signals.symbols import SymbolSource
@@ -105,12 +114,17 @@ class HomodyneTransmitter:
             dac = config.impairments.dac
         self._dac = dac if dac is not None else TransmitDac()
         self._constellation = get_constellation(config.modulation)
-        self._shaper = PulseShaper(
-            samples_per_symbol=config.samples_per_symbol,
-            taps=root_raised_cosine_taps(
-                config.samples_per_symbol, config.pulse_span_symbols, config.rolloff
-            ),
-        )
+        if config.ofdm is not None:
+            self._ofdm = OfdmModulator(config.ofdm, oversampling=config.samples_per_symbol)
+            self._shaper = None
+        else:
+            self._ofdm = None
+            self._shaper = PulseShaper(
+                samples_per_symbol=config.samples_per_symbol,
+                taps=root_raised_cosine_taps(
+                    config.samples_per_symbol, config.pulse_span_symbols, config.rolloff
+                ),
+            )
         # Independent random streams: symbols, phase noise, output noise.
         symbol_rng, phase_rng, noise_rng = spawn_generators(config.seed, 3)
         self._symbol_source = SymbolSource(self._constellation, seed=symbol_rng)
@@ -149,9 +163,19 @@ class HomodyneTransmitter:
         return self._constellation
 
     @property
-    def pulse_shaper(self) -> PulseShaper:
-        """The SRRC pulse shaper in use."""
+    def waveform_family(self) -> str:
+        """The active waveform family (``"single-carrier"`` or ``"ofdm"``)."""
+        return self._config.waveform_family
+
+    @property
+    def pulse_shaper(self) -> PulseShaper | None:
+        """The SRRC pulse shaper in use (``None`` for the OFDM family)."""
         return self._shaper
+
+    @property
+    def ofdm_modulator(self) -> OfdmModulator | None:
+        """The OFDM modulator in use (``None`` for single-carrier)."""
+        return self._ofdm
 
     @property
     def carrier_frequency(self) -> float:
@@ -176,16 +200,32 @@ class HomodyneTransmitter:
         config = self._config
         if symbol_indices is None:
             num_symbols = check_integer(num_symbols, "num_symbols", minimum=16)
+            if self._ofdm is not None:
+                # OFDM fills whole symbols: round the draw up to a complete
+                # grid so every subcarrier of every symbol carries data.
+                num_symbols = self._ofdm.round_up_data_symbols(num_symbols)
             symbol_indices = self._symbol_source.draw_indices(num_symbols)
         else:
             symbol_indices = np.asarray(symbol_indices, dtype=np.int64)
             if symbol_indices.ndim != 1 or symbol_indices.size < 16:
                 raise ConfigurationError("symbol_indices must be a 1-D array of at least 16 symbols")
+            if (
+                self._ofdm is not None
+                and symbol_indices.size % self._ofdm.params.num_data_subcarriers != 0
+            ):
+                raise ConfigurationError(
+                    "explicit OFDM symbol_indices must fill whole OFDM symbols: "
+                    f"size must be a multiple of {self._ofdm.params.num_data_subcarriers}"
+                )
         symbols = self._constellation.map(symbol_indices)
 
-        # Pulse shaping at the envelope rate; trim the filter transients so
-        # the burst duration is exactly num_symbols / symbol_rate.
-        shaped = self._shaper.shape_trimmed(symbols)
+        if self._ofdm is not None:
+            # Subcarrier mapping, pilots, oversampled IFFT, cyclic prefix.
+            shaped = self._ofdm.modulate(symbols)
+        else:
+            # Pulse shaping at the envelope rate; trim the filter transients
+            # so the burst duration is exactly num_symbols / symbol_rate.
+            shaped = self._shaper.shape_trimmed(symbols)
         ideal_envelope = ComplexEnvelope(
             samples=shaped,
             sample_rate=config.envelope_sample_rate,
@@ -224,5 +264,13 @@ class HomodyneTransmitter:
         """Generate a burst long enough to cover ``duration_seconds``."""
         if duration_seconds <= 0.0:
             raise ConfigurationError("duration_seconds must be positive")
-        num_symbols = int(np.ceil(duration_seconds * self._config.symbol_rate_hz)) + 1
+        if self._ofdm is not None:
+            # One OFDM symbol spans (fft + cp) critical samples; request
+            # exactly the data needed to fill enough whole symbols.
+            params = self._ofdm.params
+            symbol_duration = params.symbol_duration_seconds(self._config.symbol_rate_hz)
+            num_ofdm_symbols = int(np.ceil(duration_seconds / symbol_duration)) + 1
+            num_symbols = num_ofdm_symbols * params.num_data_subcarriers
+        else:
+            num_symbols = int(np.ceil(duration_seconds * self._config.symbol_rate_hz)) + 1
         return self.transmit(num_symbols=max(num_symbols, 16))

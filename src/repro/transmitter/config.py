@@ -21,6 +21,7 @@ from ..rf.amplifier import (
 )
 from ..rf.impairments import DcOffset, IqImbalance
 from ..rf.oscillator import PhaseNoiseModel
+from ..signals.ofdm import OfdmParams
 from ..signals.standards import WaveformProfile
 from ..utils.serialization import known_field_kwargs
 from ..utils.validation import check_integer, check_positive
@@ -165,23 +166,31 @@ class TransmitterConfig:
     carrier_frequency_hz:
         RF carrier frequency ``fc``.
     symbol_rate_hz:
-        Modulation symbol rate.
+        Modulation symbol rate.  For an OFDM configuration (``ofdm`` set)
+        this is the critically sampled baseband rate — the subcarrier
+        spacing times the FFT size.
     modulation:
-        Constellation name (``"qpsk"``, ``"16qam"``, ...).
+        Constellation name (``"qpsk"``, ``"16qam"``, ...).  For OFDM this
+        is the constellation carried by the data subcarriers.
     rolloff:
-        SRRC excess-bandwidth factor ``alpha``.
+        SRRC excess-bandwidth factor ``alpha`` (unused by OFDM).
     samples_per_symbol:
         Envelope oversampling ratio.  Must leave comfortable margin for
         PA-induced spectral regrowth (the default 16 covers fifth-order
-        regrowth of an SRRC signal).
+        regrowth of an SRRC signal; OFDM signals are already nearly
+        critically dense, so 4 suffices there).
     pulse_span_symbols:
-        SRRC filter span in symbols.
+        SRRC filter span in symbols (unused by OFDM).
     output_power:
         Mean envelope power at the PA output (normalised units).
     impairments:
         Analog impairment configuration.
     seed:
         Base seed controlling every stochastic element of the chain.
+    ofdm:
+        :class:`~repro.signals.ofdm.OfdmParams` selecting the OFDM
+        waveform family; ``None`` (the default) keeps the single-carrier
+        SRRC chain.
     """
 
     carrier_frequency_hz: float = 1.0e9
@@ -193,6 +202,7 @@ class TransmitterConfig:
     output_power: float = 1.0
     impairments: ImpairmentConfig = field(default_factory=ImpairmentConfig)
     seed: int | None = 2014
+    ofdm: OfdmParams | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.carrier_frequency_hz, "carrier_frequency_hz")
@@ -202,11 +212,18 @@ class TransmitterConfig:
         check_positive(self.output_power, "output_power")
         if not 0.0 <= self.rolloff <= 1.0:
             raise ConfigurationError("rolloff must lie in [0, 1]")
+        if self.ofdm is not None and not isinstance(self.ofdm, OfdmParams):
+            raise ConfigurationError("ofdm must be an OfdmParams (or None for single-carrier)")
         if self.envelope_sample_rate / 2.0 >= self.carrier_frequency_hz:
             raise ConfigurationError(
                 "envelope sample rate must be far below the carrier frequency; "
                 "reduce samples_per_symbol or raise the carrier"
             )
+
+    @property
+    def waveform_family(self) -> str:
+        """The waveform family of the configuration."""
+        return "single-carrier" if self.ofdm is None else "ofdm"
 
     @property
     def envelope_sample_rate(self) -> float:
@@ -215,7 +232,9 @@ class TransmitterConfig:
 
     @property
     def occupied_bandwidth_hz(self) -> float:
-        """Nominal occupied RF bandwidth ``(1 + rolloff) * symbol_rate``."""
+        """Nominal occupied RF bandwidth of the modulated signal."""
+        if self.ofdm is not None:
+            return self.ofdm.occupied_bandwidth_hz(self.symbol_rate_hz)
         return (1.0 + self.rolloff) * self.symbol_rate_hz
 
     @classmethod
@@ -235,10 +254,17 @@ class TransmitterConfig:
         cls,
         profile: WaveformProfile,
         impairments: ImpairmentConfig | None = None,
-        samples_per_symbol: int = 16,
+        samples_per_symbol: int | None = None,
         seed: int | None = 2014,
     ) -> "TransmitterConfig":
-        """Build a transmitter configuration from a multistandard waveform profile."""
+        """Build a transmitter configuration from a multistandard waveform profile.
+
+        ``samples_per_symbol`` defaults per family: 16 for single-carrier
+        (regrowth headroom for SRRC) and 4 for OFDM (the comb is already
+        nearly critically dense).
+        """
+        if samples_per_symbol is None:
+            samples_per_symbol = 4 if profile.family == "ofdm" else 16
         return cls(
             carrier_frequency_hz=profile.carrier_frequency_hz,
             symbol_rate_hz=profile.symbol_rate_hz,
@@ -247,11 +273,19 @@ class TransmitterConfig:
             samples_per_symbol=samples_per_symbol,
             impairments=impairments if impairments is not None else ImpairmentConfig(),
             seed=seed,
+            ofdm=profile.ofdm,
         )
 
     def to_dict(self) -> dict:
-        """Render as a plain JSON-friendly dictionary (see :meth:`from_dict`)."""
-        return {
+        """Render as a plain JSON-friendly dictionary (see :meth:`from_dict`).
+
+        The ``ofdm`` key is only present for OFDM configurations, so
+        single-carrier dictionaries keep their familiar shape (note that
+        archived *fingerprints* from earlier library versions miss
+        regardless: the store schema version participates in every
+        fingerprint and was bumped with the waveform-family change).
+        """
+        data = {
             "carrier_frequency_hz": self.carrier_frequency_hz,
             "symbol_rate_hz": self.symbol_rate_hz,
             "modulation": self.modulation,
@@ -262,6 +296,9 @@ class TransmitterConfig:
             "impairments": self.impairments.to_dict(),
             "seed": self.seed,
         }
+        if self.ofdm is not None:
+            data["ofdm"] = self.ofdm.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TransmitterConfig":
@@ -270,4 +307,7 @@ class TransmitterConfig:
         impairments = kwargs.pop("impairments", None)
         if impairments is not None:
             kwargs["impairments"] = ImpairmentConfig.from_dict(impairments)
+        ofdm = kwargs.get("ofdm")
+        if ofdm is not None and not isinstance(ofdm, OfdmParams):
+            kwargs["ofdm"] = OfdmParams.from_dict(ofdm)
         return cls(**kwargs)

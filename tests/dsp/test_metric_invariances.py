@@ -1,0 +1,207 @@
+"""Metamorphic tests of the BIST metric stack.
+
+Rather than asserting absolute values, these tests assert *relations* that
+must hold for any input — the metamorphic properties of the measurement
+layer the BIST verdicts rest on:
+
+* EVM is invariant under a common phase rotation and complex gain of the
+  received symbols (the measurement aligns with a least-squares complex
+  gain before comparing);
+* ACPR and occupied bandwidth are power *ratios*: scaling the signal
+  amplitude must not move them;
+* the spectral-mask margin is monotone non-increasing in injected
+  out-of-band noise power.
+
+Everything is seeded and parametrized over every built-in waveform
+profile, so each profile's own constellation, bandwidth and mask geometry
+exercises the properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bist.masks import SpectralMask
+from repro.bist.measurements import measure_acpr, measure_occupied_bandwidth
+from repro.dsp.metrics import error_vector_magnitude
+from repro.dsp.spectrum import SpectrumEstimate
+from repro.signals import get_profile, list_profiles
+from repro.signals.constellations import get_constellation
+from repro.signals.ofdm import build_used_grid, ofdm_grid_metrics
+
+ALL_PROFILES = list_profiles()
+SEEDS = [0, 1]
+
+
+def ls_aligned_evm(reference: np.ndarray, received: np.ndarray) -> float:
+    """EVM after the least-squares complex-gain alignment the BIST applies."""
+    gain = np.vdot(received, reference) / np.vdot(received, received)
+    return error_vector_magnitude(reference, received * gain)
+
+
+def profile_symbols(profile_name: str, seed: int, count: int = 256) -> np.ndarray:
+    profile = get_profile(profile_name)
+    constellation = get_constellation(profile.modulation)
+    rng = np.random.default_rng(seed)
+    return constellation.map(rng.integers(0, constellation.order, size=count))
+
+
+def synthetic_spectrum(profile_name: str, seed: int, noise_power: float = 0.0) -> SpectrumEstimate:
+    """A seeded in-band plateau with smooth skirts around the profile carrier."""
+    profile = get_profile(profile_name)
+    rng = np.random.default_rng(seed)
+    span = 4.0 * max(profile.channel_spacing_hz, profile.occupied_bandwidth_hz)
+    resolution = span / 2048.0
+    frequencies = profile.carrier_frequency_hz + np.arange(-2048, 2049) * resolution
+    offsets = frequencies - profile.carrier_frequency_hz
+    half_band = profile.occupied_bandwidth_hz / 2.0
+    # Gaussian skirts falling ~55 dB over two bandwidths, plus seeded ripple.
+    shape = np.where(
+        np.abs(offsets) <= half_band,
+        1.0,
+        np.exp(-((np.abs(offsets) - half_band) / half_band) ** 2 * 6.0),
+    )
+    ripple = 1.0 + 0.1 * rng.standard_normal(frequencies.size)
+    psd = shape * np.abs(ripple) + 1e-9 + noise_power
+    return SpectrumEstimate(
+        frequencies_hz=frequencies,
+        psd=psd,
+        resolution_hz=resolution,
+        two_sided=True,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("profile_name", ALL_PROFILES)
+class TestEvmInvariances:
+    def test_common_phase_rotation_leaves_evm_unchanged(self, profile_name, seed):
+        reference = profile_symbols(profile_name, seed)
+        rng = np.random.default_rng(seed + 100)
+        received = reference + 0.05 * (
+            rng.standard_normal(reference.size) + 1j * rng.standard_normal(reference.size)
+        )
+        baseline = ls_aligned_evm(reference, received)
+        for phase in (0.3, -1.2, np.pi / 2):
+            rotated = received * np.exp(1j * phase)
+            assert ls_aligned_evm(reference, rotated) == pytest.approx(baseline, rel=1e-9)
+
+    def test_common_complex_gain_leaves_evm_unchanged(self, profile_name, seed):
+        reference = profile_symbols(profile_name, seed)
+        rng = np.random.default_rng(seed + 200)
+        received = reference + 0.08 * (
+            rng.standard_normal(reference.size) + 1j * rng.standard_normal(reference.size)
+        )
+        baseline = ls_aligned_evm(reference, received)
+        for gain in (0.25, 3.0, 0.7 - 1.9j):
+            assert ls_aligned_evm(reference, received * gain) == pytest.approx(
+                baseline, rel=1e-9
+            )
+
+    def test_evm_scales_linearly_with_error_magnitude(self, profile_name, seed):
+        reference = profile_symbols(profile_name, seed)
+        rng = np.random.default_rng(seed + 300)
+        error = rng.standard_normal(reference.size) + 1j * rng.standard_normal(reference.size)
+        small = error_vector_magnitude(reference, reference + 0.01 * error)
+        large = error_vector_magnitude(reference, reference + 0.03 * error)
+        assert large == pytest.approx(3.0 * small, rel=1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "profile_name", [name for name in ALL_PROFILES if get_profile(name).family == "ofdm"]
+)
+class TestOfdmMetricInvariances:
+    def test_grid_metrics_invariant_under_common_complex_gain(self, profile_name, seed):
+        params = get_profile(profile_name).ofdm
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(8 * params.num_data_subcarriers) + 1j * rng.standard_normal(
+            8 * params.num_data_subcarriers
+        )
+        reference = build_used_grid(params, data)
+        received = reference + 0.03 * (
+            rng.standard_normal(reference.shape) + 1j * rng.standard_normal(reference.shape)
+        )
+        baseline = ofdm_grid_metrics(params, reference, received)
+        for gain in (np.exp(0.7j), 2.5, 0.4 + 1.1j):
+            scaled = ofdm_grid_metrics(params, reference, received * gain)
+            assert scaled.evm_percent == pytest.approx(baseline.evm_percent, rel=1e-9)
+            np.testing.assert_allclose(
+                scaled.per_subcarrier_evm_percent,
+                baseline.per_subcarrier_evm_percent,
+                rtol=1e-9,
+            )
+            assert scaled.spectral_flatness_db == pytest.approx(
+                baseline.spectral_flatness_db, rel=1e-9, abs=1e-12
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("profile_name", ALL_PROFILES)
+class TestSpectrumRatioInvariances:
+    def test_acpr_invariant_under_amplitude_scaling(self, profile_name, seed):
+        profile = get_profile(profile_name)
+        spectrum = synthetic_spectrum(profile_name, seed)
+        baseline = measure_acpr(
+            spectrum,
+            channel_centre_hz=profile.carrier_frequency_hz,
+            channel_bandwidth_hz=profile.channel_bandwidth_hz,
+            channel_spacing_hz=profile.channel_spacing_hz,
+        )
+        for scale in (1e-3, 4.0, 1e3):
+            scaled_spectrum = SpectrumEstimate(
+                frequencies_hz=spectrum.frequencies_hz,
+                psd=spectrum.psd * scale,
+                resolution_hz=spectrum.resolution_hz,
+                two_sided=spectrum.two_sided,
+            )
+            scaled = measure_acpr(
+                scaled_spectrum,
+                channel_centre_hz=profile.carrier_frequency_hz,
+                channel_bandwidth_hz=profile.channel_bandwidth_hz,
+                channel_spacing_hz=profile.channel_spacing_hz,
+            )
+            for key in ("lower_db", "upper_db", "worst_db"):
+                assert scaled[key] == pytest.approx(baseline[key], abs=1e-9)
+
+    def test_occupied_bandwidth_invariant_under_amplitude_scaling(self, profile_name, seed):
+        profile = get_profile(profile_name)
+        spectrum = synthetic_spectrum(profile_name, seed)
+        search = 2.0 * max(profile.channel_spacing_hz, profile.occupied_bandwidth_hz)
+        baseline = measure_occupied_bandwidth(
+            spectrum,
+            channel_centre_hz=profile.carrier_frequency_hz,
+            search_half_width_hz=search,
+        )
+        for scale in (1e-3, 7.0, 1e3):
+            scaled_spectrum = SpectrumEstimate(
+                frequencies_hz=spectrum.frequencies_hz,
+                psd=spectrum.psd * scale,
+                resolution_hz=spectrum.resolution_hz,
+                two_sided=spectrum.two_sided,
+            )
+            scaled = measure_occupied_bandwidth(
+                scaled_spectrum,
+                channel_centre_hz=profile.carrier_frequency_hz,
+                search_half_width_hz=search,
+            )
+            assert scaled == pytest.approx(baseline, rel=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "profile_name", [name for name in ALL_PROFILES if get_profile(name).mask_points_db]
+)
+class TestMaskMarginMonotonicity:
+    def test_mask_margin_monotone_in_injected_noise_power(self, profile_name, seed):
+        profile = get_profile(profile_name)
+        mask = SpectralMask.from_profile(profile)
+        noise_levels = [0.0, 1e-6, 1e-4, 1e-3, 1e-2, 1e-1]
+        margins = []
+        for noise_power in noise_levels:
+            spectrum = synthetic_spectrum(profile_name, seed, noise_power=noise_power)
+            result = mask.check(spectrum, channel_centre_hz=profile.carrier_frequency_hz)
+            margins.append(result.worst_margin_db)
+        # Raising the out-of-band noise floor can only erode the margin.
+        for before, after in zip(margins, margins[1:]):
+            assert after <= before + 1e-9
+        # And enough noise must actually fail the mask for every profile.
+        assert margins[-1] < margins[0]

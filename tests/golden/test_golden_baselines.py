@@ -7,6 +7,10 @@ test re-runs the identical campaign and gates the fresh reports against the
 stored ones through :class:`repro.store.BaselineComparator` — the software
 equivalent of the paper's repeatable stored-reference loopback measurement.
 
+``ofdm_baseline.json`` is the multicarrier counterpart: full EVM-enabled
+reports (per-subcarrier EVM and spectral flatness included) for both OFDM
+profiles plus one injected IQ-imbalance fault under OFDM.
+
 Regenerate after an *intentional* behaviour change with::
 
     PYTHONPATH=src python tests/golden/test_golden_baselines.py
@@ -28,6 +32,7 @@ from repro.transmitter import ImpairmentConfig
 
 GOLDEN_DIR = pathlib.Path(__file__).parent
 BASELINE_PATH = GOLDEN_DIR / "campaign_baseline.json"
+OFDM_BASELINE_PATH = GOLDEN_DIR / "ofdm_baseline.json"
 
 #: Reduced-but-complete engine settings (EVM measured, all checks active).
 GOLDEN_CONFIG = BistConfig(
@@ -58,6 +63,27 @@ def build_execution() -> CampaignExecution:
 def load_baseline() -> CampaignExecution:
     """The committed golden execution."""
     return CampaignExecution.from_dict(json.loads(BASELINE_PATH.read_text()))
+
+
+def ofdm_golden_scenarios() -> tuple:
+    """The committed OFDM campaign: 2 nominal OFDM profiles + 1 fault."""
+    fault = IqImbalanceFault(severity=1.0)
+    nominal = CampaignScenario(profile="ofdm-uhf-qpsk-400mhz")
+    return (
+        nominal,
+        CampaignScenario(profile="ofdm-lband-16qam-1p5ghz"),
+        fault.apply_scenario(nominal, label="ofdm-uhf-qpsk-400mhz/iq-imbalance-s1"),
+    )
+
+
+def build_ofdm_execution() -> CampaignExecution:
+    """Run the OFDM golden campaign fresh (deterministic under the seed)."""
+    return CampaignRunner(bist_config=GOLDEN_CONFIG).run(ofdm_golden_scenarios())
+
+
+def load_ofdm_baseline() -> CampaignExecution:
+    """The committed OFDM golden execution."""
+    return CampaignExecution.from_dict(json.loads(OFDM_BASELINE_PATH.read_text()))
 
 
 @pytest.mark.smoke
@@ -93,15 +119,56 @@ class TestGoldenBaselines:
         ]
 
 
+@pytest.mark.smoke
+class TestOfdmGoldenBaselines:
+    def test_ofdm_baseline_loads_and_round_trips(self):
+        baseline = load_ofdm_baseline()
+        assert [outcome.label for outcome in baseline.outcomes] == [
+            "ofdm-uhf-qpsk-400mhz",
+            "ofdm-lband-16qam-1p5ghz",
+            "ofdm-uhf-qpsk-400mhz/iq-imbalance-s1",
+        ]
+        assert all(outcome.ok for outcome in baseline.outcomes)
+        # The archived OFDM reports carry the per-subcarrier measurements.
+        for outcome in baseline.outcomes:
+            measurements = outcome.report.measurements
+            assert measurements.per_subcarrier_evm_percent is not None
+            assert measurements.spectral_flatness_db is not None
+        rebuilt = CampaignExecution.from_dict(baseline.to_dict())
+        assert rebuilt.to_dict() == baseline.to_dict()
+
+    def test_fresh_ofdm_run_agrees_with_golden_baseline(self):
+        comparison = BaselineComparator().compare(load_ofdm_baseline(), build_ofdm_execution())
+        assert comparison.passed, comparison.to_text()
+        # Seven gated metrics per scenario (flatness included) plus verdict.
+        assert comparison.num_compared >= 3 * 7
+
+    def test_comparator_flags_flatness_drift_against_ofdm_golden(self):
+        baseline = load_ofdm_baseline()
+        data = copy.deepcopy(baseline.to_dict())
+        measurements = data["outcomes"][0]["report"]["measurements"]
+        measurements["spectral_flatness_db"] += 3.0
+        drifted = CampaignExecution.from_dict(data)
+        comparison = BaselineComparator().compare(baseline, drifted)
+        assert not comparison.passed
+        assert [(entry.label, entry.metric) for entry in comparison.drifted] == [
+            ("ofdm-uhf-qpsk-400mhz", "spectral_flatness_db")
+        ]
+
+
 def regenerate() -> None:
-    """Rewrite the committed baseline from a fresh run."""
-    execution = build_execution()
-    for outcome in execution.outcomes:
-        assert outcome.ok, f"golden scenario {outcome.label!r} errored: {outcome.error}"
-    BASELINE_PATH.write_text(
-        json.dumps(execution.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
-    )
-    print(f"wrote {BASELINE_PATH} ({BASELINE_PATH.stat().st_size} bytes)")
+    """Rewrite the committed baselines from fresh runs."""
+    for path, build in (
+        (BASELINE_PATH, build_execution),
+        (OFDM_BASELINE_PATH, build_ofdm_execution),
+    ):
+        execution = build()
+        for outcome in execution.outcomes:
+            assert outcome.ok, f"golden scenario {outcome.label!r} errored: {outcome.error}"
+        path.write_text(
+            json.dumps(execution.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,8 @@ from repro.rf.amplifier import (
 )
 from repro.rf.impairments import DcOffset, IqImbalance
 from repro.rf.oscillator import PhaseNoiseModel
+from repro.signals import WaveformProfile
+from repro.signals.ofdm import OfdmParams
 from repro.transmitter import ImpairmentConfig, TransmitterConfig
 from repro.transmitter.dac import TransmitDac
 
@@ -92,6 +94,18 @@ def random_impairments(rng: random.Random) -> ImpairmentConfig:
     )
 
 
+def random_ofdm_params(rng: random.Random) -> OfdmParams:
+    fft_size = rng.choice([16, 32, 64, 128])
+    num_subcarriers = 2 * rng.randrange(1, (fft_size - 2) // 2 + 1)
+    return OfdmParams(
+        fft_size=fft_size,
+        num_subcarriers=num_subcarriers,
+        cp_length=rng.randrange(1, fft_size),
+        pilot_spacing=rng.randrange(2, max(3, num_subcarriers + 1)),
+        pilot_amplitude=rng.uniform(0.5, 2.0),
+    )
+
+
 def random_transmitter_config(rng: random.Random) -> TransmitterConfig:
     return TransmitterConfig(
         carrier_frequency_hz=rng.uniform(0.4e9, 2.0e9),
@@ -103,6 +117,32 @@ def random_transmitter_config(rng: random.Random) -> TransmitterConfig:
         output_power=rng.uniform(0.5, 2.0),
         impairments=random_impairments(rng),
         seed=maybe(rng, rng.randrange(2**31)),
+        ofdm=maybe(rng, random_ofdm_params(rng), probability=0.6),
+    )
+
+
+def random_profile(rng: random.Random) -> WaveformProfile:
+    """A random (but valid) waveform profile, either family."""
+    ofdm = maybe(rng, random_ofdm_params(rng), probability=0.5)
+    num_points = rng.randrange(0, 5)
+    offsets = sorted(rng.uniform(0.0, 50e6) for _ in range(num_points))
+    mask = tuple(
+        (offset, rng.uniform(-60.0, 0.0)) for offset in offsets
+    )
+    return WaveformProfile(
+        name=f"fuzz-profile-{rng.randrange(10**6)}",
+        carrier_frequency_hz=rng.uniform(0.4e9, 2.0e9),
+        symbol_rate_hz=rng.uniform(1.0e6, 40.0e6),
+        modulation=rng.choice(["qpsk", "16qam", "8psk", "64qam"]),
+        rolloff=0.0 if ofdm is not None else rng.uniform(0.1, 0.9),
+        channel_bandwidth_hz=rng.uniform(1.0e6, 40.0e6),
+        channel_spacing_hz=rng.uniform(1.0e6, 50.0e6),
+        acpr_limit_db=rng.uniform(-60.0, -10.0),
+        evm_limit_percent=rng.uniform(2.0, 20.0),
+        mask_points_db=mask,
+        family="single-carrier" if ofdm is None else "ofdm",
+        ofdm=ofdm,
+        flatness_limit_db=maybe(rng, rng.uniform(1.0, 10.0)),
     )
 
 
@@ -269,6 +309,8 @@ def random_limits(rng: random.Random) -> TestLimits:
 #: Every fuzzed dataclass: (generator, from_dict caller, exact-equality safe).
 #: Classes whose fields hold arrays/dicts compare via to_dict only.
 CASES = {
+    "WaveformProfile": (random_profile, WaveformProfile.from_dict, True),
+    "OfdmParams": (random_ofdm_params, OfdmParams.from_dict, True),
     "TransmitterConfig": (random_transmitter_config, TransmitterConfig.from_dict, True),
     "ImpairmentConfig": (random_impairments, ImpairmentConfig.from_dict, True),
     "ConverterSpec": (random_converter_spec, ConverterSpec.from_dict, True),
