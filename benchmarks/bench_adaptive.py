@@ -1,0 +1,251 @@
+"""Extension experiment: adaptive threshold search vs the exhaustive grid.
+
+The adaptive planner claims ``O(log2(grid))`` probes per fault family
+where the exhaustive campaign pays ``O(grid)``; this benchmark measures
+that saving and guards the statistical machinery:
+
+* synthetic fleet (analytic detection curves, no BIST cost): the
+  aggregate ``scenarios_saved_vs_grid`` on a 32-step grid — **asserted
+  >= 5x**, the headline efficiency target;
+* real execution path: a coarse-grid search over six fault families
+  through genuine BIST scenarios, wall clock and per-family thresholds
+  (the DCDE control must report "no threshold found");
+* importance-sampled escape Monte Carlo vs the uniform resampler at
+  equal trial counts: standard error and effective sample size.
+
+Run with:  PYTHONPATH=../src python bench_adaptive.py [--smoke]
+``--output bench.json`` writes the efficiency numbers as JSON.
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.bist import BistConfig
+from repro.faults import (
+    AdaptiveConfig,
+    AdaptivePlanner,
+    CampaignProbeBackend,
+    FaultDictionary,
+    FaultPoint,
+    FaultRecord,
+    FaultSignature,
+    PaCompressionFault,
+    SyntheticFamily,
+    SyntheticProbeBackend,
+    TestLimits,
+    importance_monte_carlo,
+)
+
+REAL_FAMILIES = [
+    "pa-compression",
+    "iq-imbalance",
+    "lo-leakage",
+    "tiadc-skew",
+    "filter-drift",
+    "dcde-error",
+]
+
+#: Same explicit-bounds screen as examples/adaptive_thresholds.py (the BIST
+#: verdict is noise-marginal at benchmark acquisition sizes).
+LIMITS = TestLimits(
+    use_bist_verdict=False,
+    max_acpr_db=-35.0,
+    max_occupied_bandwidth_hz=15.0e6,
+    max_skew_deviation_ps=20.0,
+)
+
+SYNTHETIC_FAMILIES = [
+    SyntheticFamily("sharp-a", threshold=0.13, steepness=400.0),
+    SyntheticFamily("sharp-b", threshold=0.28, steepness=400.0),
+    SyntheticFamily("sharp-c", threshold=0.47, steepness=400.0),
+    SyntheticFamily("sharp-d", threshold=0.66, steepness=400.0),
+    SyntheticFamily("sharp-e", threshold=0.84, steepness=400.0),
+]
+
+
+def synthetic_stage() -> dict:
+    config = AdaptiveConfig(num_steps=32)
+    backend = SyntheticProbeBackend(SYNTHETIC_FAMILIES, seed=0)
+    start = time.perf_counter()
+    report = AdaptivePlanner(backend, config).run(
+        [family.name for family in SYNTHETIC_FAMILIES]
+    ).report
+    seconds = time.perf_counter() - start
+    return {
+        "num_steps": config.num_steps,
+        "scenarios_spent": report.scenarios_spent,
+        "grid_equivalent_scenarios": report.grid_equivalent_scenarios,
+        "scenarios_saved_vs_grid": report.scenarios_saved_vs_grid,
+        "seconds": seconds,
+    }
+
+
+def real_stage(smoke: bool, workers: int) -> dict:
+    if smoke:
+        engine = BistConfig(
+            num_samples_fast=192,
+            num_samples_slow=96,
+            lms_max_iterations=20,
+            num_cost_points=40,
+            measure_evm_enabled=False,
+            seed=99,
+        )
+        config = AdaptiveConfig(num_steps=4, repeats_per_round=2, max_rounds_per_probe=1)
+    else:
+        engine = BistConfig(
+            num_samples_fast=256,
+            num_samples_slow=128,
+            lms_max_iterations=40,
+            num_cost_points=120,
+            measure_evm_enabled=False,
+            seed=99,
+        )
+        config = AdaptiveConfig(num_steps=32, repeats_per_round=2, max_rounds_per_probe=1)
+    backend = CampaignProbeBackend(
+        ["paper-qpsk-1ghz"],
+        bist_config=engine,
+        limits=LIMITS,
+        max_workers=workers,
+    )
+    start = time.perf_counter()
+    result = AdaptivePlanner(backend, config).run(REAL_FAMILIES)
+    seconds = time.perf_counter() - start
+    report = result.report
+    grid_cost = len(REAL_FAMILIES) * config.num_steps * config.repeats_per_round
+    return {
+        "num_steps": config.num_steps,
+        "scenarios_spent": report.scenarios_spent,
+        "exhaustive_grid_scenarios": grid_cost,
+        "scenarios_saved_vs_grid": report.scenarios_saved_vs_grid,
+        "seconds": seconds,
+        "num_errors": result.summary().num_errors,
+        "thresholds": {
+            threshold.family: (threshold.threshold if threshold.found else None)
+            for threshold in report.thresholds
+        },
+    }
+
+
+def importance_stage(smoke: bool) -> dict:
+    """Importance vs uniform Monte Carlo on a hand-built dictionary."""
+
+    def signature(label, failed):
+        return FaultSignature(
+            label=label, profile_name="bench", executed=True, bist_failed=failed
+        )
+
+    def record(fault, label, flags):
+        return FaultRecord(
+            point=FaultPoint(label=label, profile_name="bench", fault=fault),
+            signatures=tuple(
+                signature(f"{label}/r{i}", flag) for i, flag in enumerate(flags)
+            ),
+        )
+
+    # One boundary-marginal record among homogeneous ones: the uniform
+    # resampler wastes most trials on the zero-variance records.
+    dictionary = FaultDictionary(
+        records=(
+            record(PaCompressionFault(severity=1.0), "pa-s1", [True] * 8),
+            record(PaCompressionFault(severity=0.6), "pa-s0.6", [True] * 4 + [False] * 4),
+            record(PaCompressionFault(severity=0.2), "pa-s0.2", [False] * 8),
+        ),
+        references=tuple(signature(f"ref/r{i}", False) for i in range(8)),
+    )
+    limits = TestLimits()
+    num_trials = 20000 if smoke else 200000
+
+    start = time.perf_counter()
+    uniform = dictionary.monte_carlo(limits, num_trials=num_trials)
+    uniform_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    weighted = importance_monte_carlo(dictionary, limits, num_trials=num_trials)
+    weighted_seconds = time.perf_counter() - start
+
+    return {
+        "num_trials": num_trials,
+        "uniform_faulty_pass_rate": uniform.faulty_pass_rate,
+        "uniform_seconds": uniform_seconds,
+        "importance_faulty_pass_rate": weighted.faulty_pass_rate,
+        "importance_standard_error": weighted.standard_error,
+        "importance_effective_sample_size": weighted.effective_sample_size,
+        "importance_seconds": weighted_seconds,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="minimal sizes for CI")
+    parser.add_argument("--output", type=str, default=None, help="write timing JSON here")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=min(4, max(2, os.cpu_count() or 1)),
+        help="pool size for the real-backend stage",
+    )
+    args = parser.parse_args()
+
+    synthetic = synthetic_stage()
+    real = real_stage(args.smoke, args.workers)
+    importance = importance_stage(args.smoke)
+
+    title = "Extension - adaptive threshold search vs exhaustive grid (AdaptivePlanner)"
+    print("=" * len(title))
+    print(title)
+    print("=" * len(title))
+    print(
+        f"synthetic ({synthetic['num_steps']}-step grid, {len(SYNTHETIC_FAMILIES)} families): "
+        f"{synthetic['scenarios_spent']} scenarios vs "
+        f"{synthetic['grid_equivalent_scenarios']:.0f} grid-equivalent "
+        f"= {synthetic['scenarios_saved_vs_grid']:.1f}x saved"
+    )
+    print(
+        f"real BIST ({real['num_steps']}-step grid, {len(REAL_FAMILIES)} families): "
+        f"{real['scenarios_spent']} scenarios vs {real['exhaustive_grid_scenarios']} "
+        f"exhaustive = {real['scenarios_saved_vs_grid']:.1f}x saved "
+        f"({real['seconds']:.1f} s, {args.workers} worker(s))"
+    )
+    for family, threshold in real["thresholds"].items():
+        print(f"  {family:<16} {'none' if threshold is None else f'{threshold:.4f}'}")
+    print(
+        f"escape MC ({importance['num_trials']} trials): uniform "
+        f"{importance['uniform_faulty_pass_rate']:.4f} "
+        f"({importance['uniform_seconds'] * 1e3:.1f} ms) vs importance "
+        f"{importance['importance_faulty_pass_rate']:.4f} "
+        f"+- {importance['importance_standard_error']:.4f} "
+        f"(ESS {importance['importance_effective_sample_size']:.0f}, "
+        f"{importance['importance_seconds'] * 1e3:.1f} ms)"
+    )
+
+    # --- Expected behaviour --------------------------------------------------
+    # The headline efficiency target: >= 5x fewer scenarios than the grid.
+    assert synthetic["scenarios_saved_vs_grid"] >= 5.0, synthetic
+    # The adaptive search must beat the exhaustive grid on the real path too.
+    assert real["scenarios_spent"] < real["exhaustive_grid_scenarios"], real
+    assert real["num_errors"] == 0
+    # The DCDE control is absorbed by the LMS calibration by design.
+    assert real["thresholds"]["dcde-error"] is None, real["thresholds"]
+    # The marginal record passes half its repeats; uniform target over the
+    # 3 records puts the true faulty pass rate at (0 + 0.5 + 1) / 3 = 0.5.
+    assert abs(importance["importance_faulty_pass_rate"] - 0.5) <= max(
+        5 * importance["importance_standard_error"], 0.02
+    )
+
+    if args.output:
+        payload = {
+            "smoke": args.smoke,
+            "workers": args.workers,
+            "synthetic": synthetic,
+            "real": real,
+            "importance": importance,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nbenchmark JSON written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Adaptive threshold study: minimal detectable severity per fault family.
+
+The exhaustive fault campaign (see ``fault_coverage_study.py``) sweeps
+every family x severity grid point; most of those scenarios only confirm
+what a handful already imply.  This example runs the
+:class:`~repro.faults.adaptive.AdaptivePlanner` instead: per family, a
+bisection over the severity grid — each probe an ordinary fingerprinted
+BIST scenario with a CI-based early-stopping rule — locates the minimal
+detectable severity in ``O(log2(grid))`` probes and reports it with a
+confidence bracket and the scenarios-vs-grid saving.
+
+Attach ``--store DIR`` to make the search resumable: interrupting and
+re-running replays the archived probes as cache hits and continues the
+search bit-identically; ``--budget N`` caps fresh scenario executions for
+incremental runs.
+
+Run with:  PYTHONPATH=src python examples/adaptive_thresholds.py --workers 4
+Use ``--fast`` for a quick smoke run and ``--output thresholds.json`` to
+archive the threshold report + campaign summary as a JSON artifact.
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.bist import BistConfig
+from repro.bist.runner import ExecutionBudget
+from repro.errors import BudgetExhaustedError
+from repro.faults import AdaptiveConfig, AdaptivePlanner, CampaignProbeBackend, TestLimits
+from repro.store import CampaignStore
+
+FAMILIES = [
+    "pa-compression",
+    "iq-imbalance",
+    "lo-leakage",
+    "tiadc-skew",
+    "filter-drift",
+    "dcde-error",  # the designed-undetectable control (absorbed by the LMS)
+]
+
+#: Explicit metric bounds instead of the per-profile BIST verdict: at the
+#: small acquisition sizes used here the verdict is marginal enough to flip
+#: with the noise realisation, which would break the monotone-detection
+#: assumption the bisection relies on.  ACPR / OBW / skew deviation are
+#: stable even at smoke sizes.
+LIMITS = TestLimits(
+    use_bist_verdict=False,
+    max_acpr_db=-35.0,
+    max_occupied_bandwidth_hz=15.0e6,
+    max_skew_deviation_ps=20.0,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(1, os.cpu_count() or 1),
+        help="process-pool size (1 = serial; default: CPU count)",
+    )
+    parser.add_argument("--fast", action="store_true", help="coarse grid for a smoke run")
+    parser.add_argument(
+        "--strategy",
+        choices=("bisection", "probabilistic"),
+        default="bisection",
+        help="threshold-search strategy",
+    )
+    parser.add_argument("--store", type=str, default=None, help="campaign store directory (resumable)")
+    parser.add_argument("--budget", type=int, default=None, help="cap on fresh scenario executions")
+    parser.add_argument("--output", type=str, default=None, help="write the JSON artifact here")
+    args = parser.parse_args()
+
+    if args.fast:
+        engine = BistConfig(
+            num_samples_fast=192,
+            num_samples_slow=96,
+            lms_max_iterations=20,
+            num_cost_points=40,
+            measure_evm_enabled=False,
+            seed=99,
+        )
+        config = AdaptiveConfig(
+            num_steps=4, repeats_per_round=2, max_rounds_per_probe=1, strategy=args.strategy
+        )
+    else:
+        engine = BistConfig(
+            num_samples_fast=256,
+            num_samples_slow=128,
+            lms_max_iterations=40,
+            num_cost_points=120,
+            measure_evm_enabled=False,
+            seed=99,
+        )
+        config = AdaptiveConfig(
+            num_steps=16, repeats_per_round=2, max_rounds_per_probe=2, strategy=args.strategy
+        )
+
+    backend = CampaignProbeBackend(
+        ["paper-qpsk-1ghz"],
+        bist_config=engine,
+        limits=LIMITS,
+        max_workers=args.workers,
+        store=None if args.store is None else CampaignStore(args.store),
+        progress_callback=lambda outcome: print(f"  done: {outcome.summary()}"),
+    )
+    planner = AdaptivePlanner(backend, config)
+    budget = None if args.budget is None else ExecutionBudget(args.budget)
+
+    print(
+        f"adaptive {config.strategy} over {len(FAMILIES)} families on a "
+        f"{config.num_steps}-step severity grid "
+        f"(exhaustive grid: {len(FAMILIES) * config.num_steps * config.repeats_per_round} scenarios)"
+    )
+    start = time.perf_counter()
+    try:
+        result = planner.run(FAMILIES, budget=budget)
+    except BudgetExhaustedError as exc:
+        print(f"\nbudget exhausted: {exc}")
+        print("re-run with the same --store to resume the search from the archive")
+        return 3
+    wall = time.perf_counter() - start
+
+    summary = result.summary()
+    print()
+    print(result.report.to_text())
+    print()
+    print(summary.to_text())
+    print(f"\nwall clock {wall:.1f} s, {args.workers} worker(s)")
+
+    if args.output:
+        artifact = {
+            "report": result.report.to_dict(),
+            "summary": summary.to_dict(),
+            "config": {
+                "families": FAMILIES,
+                "strategy": config.strategy,
+                "num_steps": config.num_steps,
+                "workers": args.workers,
+                "wall_seconds": wall,
+            },
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle)
+        print(f"threshold artifact written to {args.output}")
+    return 0 if summary.num_errors == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

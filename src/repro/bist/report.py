@@ -351,9 +351,19 @@ class CampaignSummary:
     #: as a miss (everything executed).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Adaptive-campaign efficiency: how many exhaustive-grid scenarios each
+    #: executed scenario replaced (``None`` for non-adaptive campaigns).
+    scenarios_saved_vs_grid: float | None = None
 
     @classmethod
-    def from_entries(cls, entries, errors=(), cache_hits: int = 0, cache_misses: int | None = None) -> "CampaignSummary":
+    def from_entries(
+        cls,
+        entries,
+        errors=(),
+        cache_hits: int = 0,
+        cache_misses: int | None = None,
+        scenarios_saved_vs_grid: float | None = None,
+    ) -> "CampaignSummary":
         """Aggregate ``(label, report)`` pairs and ``(label, error)`` pairs."""
         entries = list(entries)
         errors = tuple((str(label), str(message)) for label, message in errors)
@@ -410,6 +420,9 @@ class CampaignSummary:
             max_skew_error_ps=max_skew,
             cache_hits=int(cache_hits),
             cache_misses=int(cache_misses),
+            scenarios_saved_vs_grid=(
+                None if scenarios_saved_vs_grid is None else float(scenarios_saved_vs_grid)
+            ),
         )
 
     @property
@@ -441,6 +454,11 @@ class CampaignSummary:
             lines.append(
                 f"campaign store: {self.cache_hits} cache hit(s), "
                 f"{self.cache_misses} executed"
+            )
+        if self.scenarios_saved_vs_grid is not None:
+            lines.append(
+                f"adaptive efficiency: {self.scenarios_saved_vs_grid:.1f}x fewer "
+                "scenarios than the exhaustive grid"
             )
         header = (
             f"{'profile':<24} {'n':>3} {'pass':>4} {'rate%':>6} "
@@ -477,6 +495,7 @@ class CampaignSummary:
             "pass_rate": self.pass_rate,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "scenarios_saved_vs_grid": self.scenarios_saved_vs_grid,
             "mean_skew_error_ps": self.mean_skew_error_ps,
             "max_skew_error_ps": self.max_skew_error_ps,
             "profiles": {

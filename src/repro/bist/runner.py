@@ -33,7 +33,12 @@ import zlib
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from ..errors import CampaignExecutionError, ConfigurationError, ValidationError
+from ..errors import (
+    BudgetExhaustedError,
+    CampaignExecutionError,
+    ConfigurationError,
+    ValidationError,
+)
 from ..signals.standards import WaveformProfile
 from ..transmitter.config import ImpairmentConfig
 from .campaign import (
@@ -49,6 +54,7 @@ from .report import BistReport, CampaignSummary
 __all__ = [
     "CampaignRunner",
     "CampaignExecution",
+    "ExecutionBudget",
     "ScenarioOutcome",
     "ScenarioGrid",
     "derive_scenario_seed",
@@ -247,6 +253,57 @@ class CampaignExecution:
         )
 
 
+class ExecutionBudget:
+    """Mutable cap on *fresh* scenario executions across runner calls.
+
+    Incremental campaigns — adaptive threshold searches in particular —
+    issue many small :meth:`CampaignRunner.run` calls; one budget object
+    threaded through them bounds the total simulation cost.  Only scenarios
+    that actually execute are charged: store cache hits are free, so a
+    resumed campaign replays its archived prefix without consuming budget
+    and spends it on new work only.
+
+    The charge happens *before* a batch executes and is all-or-nothing:
+    when the remaining budget cannot cover the whole batch,
+    :class:`~repro.errors.BudgetExhaustedError` is raised first, leaving the
+    store without partially-executed batches.
+    """
+
+    def __init__(self, max_scenarios: int) -> None:
+        if not isinstance(max_scenarios, int) or isinstance(max_scenarios, bool) or max_scenarios < 1:
+            raise ValidationError(
+                f"max_scenarios must be a positive integer, got {max_scenarios!r}"
+            )
+        self._max_scenarios = max_scenarios
+        self._spent = 0
+
+    @property
+    def max_scenarios(self) -> int:
+        """The configured cap."""
+        return self._max_scenarios
+
+    @property
+    def spent(self) -> int:
+        """Fresh executions charged so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> int:
+        """Executions still available."""
+        return self._max_scenarios - self._spent
+
+    def charge(self, count: int) -> None:
+        """Consume ``count`` executions or raise :class:`BudgetExhaustedError`."""
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise ValidationError(f"count must be a non-negative integer, got {count!r}")
+        if self._spent + count > self._max_scenarios:
+            raise BudgetExhaustedError(
+                f"execution budget exhausted: {self._spent} of "
+                f"{self._max_scenarios} scenario(s) spent, cannot charge {count} more"
+            )
+        self._spent += count
+
+
 @dataclass(frozen=True)
 class _ScenarioTask:
     """Picklable unit of work shipped to pool workers."""
@@ -392,7 +449,7 @@ class CampaignRunner:
             )
         return tasks
 
-    def run(self, scenarios) -> CampaignExecution:
+    def run(self, scenarios, budget: ExecutionBudget | None = None) -> CampaignExecution:
         """Execute every scenario; errors are captured, not raised.
 
         Returns a :class:`CampaignExecution` whose outcomes are in submission
@@ -400,9 +457,18 @@ class CampaignRunner:
         campaign store attached, archived scenarios are served as cache hits
         (no execution) and fresh outcomes are flushed to the store as they
         complete, so an interrupted run resumes incrementally.
+
+        ``budget`` charges an :class:`ExecutionBudget` for the scenarios that
+        will actually execute (cache hits are free), raising
+        :class:`~repro.errors.BudgetExhaustedError` before any of them runs
+        when the batch would overrun the cap.
         """
         tasks = self._build_tasks(scenarios)
         cached, pending, fingerprints = self._consult_store(tasks)
+        if budget is not None and pending:
+            if not isinstance(budget, ExecutionBudget):
+                raise ValidationError("budget must be an ExecutionBudget")
+            budget.charge(len(pending))
         if not pending:
             executed = []
         elif self._max_workers == 1 or len(pending) == 1:

@@ -23,6 +23,7 @@ __all__ = [
     "MeasurementError",
     "MaskError",
     "CampaignExecutionError",
+    "BudgetExhaustedError",
 ]
 
 
@@ -86,3 +87,12 @@ class CampaignExecutionError(ReproError):
     :class:`~repro.bist.runner.ScenarioOutcome` records; this exception is
     raised only by APIs that promise a complete :class:`CampaignResult`
     (such as :meth:`~repro.bist.campaign.BistCampaign.run`)."""
+
+
+class BudgetExhaustedError(ReproError):
+    """An execution budget ran out before the campaign step could run.
+
+    Raised by :class:`~repro.bist.runner.ExecutionBudget` *before* the
+    over-budget batch executes, so everything already completed has been
+    flushed to the campaign store and the interrupted run can be resumed
+    (cache hits are free and do not consume budget)."""

@@ -15,9 +15,31 @@ with no RF instrumentation; this package quantifies that claim:
   :class:`TestLimits` screen, fault coverage, false alarms, and the
   test-escape / yield-loss Monte Carlo;
 * :mod:`repro.faults.report` — :class:`FaultCoverageReport`, the ranked,
-  JSON-serialisable detectability report.
+  JSON-serialisable detectability report;
+* :mod:`repro.faults.adaptive` — :class:`AdaptivePlanner`, locating each
+  family's minimal detectable severity by (probabilistic) bisection with
+  CI-based early stopping, plus the importance-sampled escape/yield Monte
+  Carlo; every adaptive step runs as an ordinary fingerprinted scenario
+  through the campaign runner and store;
+* :mod:`repro.faults.stats` — Wilson / Clopper-Pearson binomial intervals
+  (no SciPy dependency) backing the early-stopping rules.
 """
 
+from .adaptive import (
+    SEARCH_STRATEGIES,
+    AdaptiveCampaignResult,
+    AdaptiveConfig,
+    AdaptivePlanner,
+    CampaignProbeBackend,
+    FamilyThreshold,
+    ImportanceEscapeEstimate,
+    ProbeBackend,
+    ProbeResult,
+    SyntheticFamily,
+    SyntheticProbeBackend,
+    ThresholdReport,
+    importance_monte_carlo,
+)
 from .coverage import (
     CoverageResult,
     EscapeYieldEstimate,
@@ -76,4 +98,17 @@ __all__ = [
     "FaultDictionary",
     "FaultCoverageReport",
     "FaultReportEntry",
+    "AdaptiveConfig",
+    "AdaptivePlanner",
+    "AdaptiveCampaignResult",
+    "CampaignProbeBackend",
+    "FamilyThreshold",
+    "ImportanceEscapeEstimate",
+    "ProbeBackend",
+    "ProbeResult",
+    "SEARCH_STRATEGIES",
+    "SyntheticFamily",
+    "SyntheticProbeBackend",
+    "ThresholdReport",
+    "importance_monte_carlo",
 ]

@@ -451,6 +451,13 @@ class FaultDictionary:
         good otherwise (signature drawn from the reference population).  The
         unit ships when the limit set does not flag its signature.
 
+        Fault points whose repeats are *homogeneous* under the limit set —
+        never flagged (zero detected scenarios, e.g. a designed-undetectable
+        family) or always flagged — are short-circuited: their trials have a
+        known outcome, so no per-trial resampling of the flag grid is
+        needed.  All random draws still happen up front, so the estimate is
+        bit-identical to the fully-resampled one.
+
         Returns a deterministic-under-seed :class:`EscapeYieldEstimate`.
         """
         limits = limits if limits is not None else TestLimits()
@@ -476,6 +483,13 @@ class FaultDictionary:
         for index, flags in enumerate(record_flags):
             mask = record_choice == index
             if not np.any(mask):
+                continue
+            if not flags.any():
+                # Zero detected scenarios: every unit with this fault
+                # escapes; faulty_flagged already holds False for them.
+                continue
+            if flags.all():
+                faulty_flagged[mask] = True
                 continue
             picks = (repeat_draw[mask] * flags.size).astype(int)
             faulty_flagged[mask] = flags[picks]

@@ -12,9 +12,10 @@ archival next to the campaign artifacts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import ValidationError
+from .adaptive import ThresholdReport
 from .coverage import (
     CoverageResult,
     EscapeYieldEstimate,
@@ -73,10 +74,24 @@ class FaultCoverageReport:
     coverage_result: CoverageResult
     false_alarm_rate: float
     escape: EscapeYieldEstimate
+    #: Optional adaptive threshold-search results (see :meth:`with_thresholds`).
+    thresholds: ThresholdReport | None = None
 
     def __post_init__(self) -> None:
         if not self.entries:
             raise ValidationError("a coverage report needs at least one entry")
+
+    def with_thresholds(self, thresholds: ThresholdReport) -> "FaultCoverageReport":
+        """Attach an adaptive :class:`ThresholdReport` to the coverage view.
+
+        The threshold search answers the question the exhaustive grid only
+        approximates — the minimal detectable severity per family — so the
+        combined report carries both: grid detection probabilities alongside
+        the adaptively-located thresholds and their search cost.
+        """
+        if not isinstance(thresholds, ThresholdReport):
+            raise ValidationError("thresholds must be a ThresholdReport")
+        return replace(self, thresholds=thresholds)
 
     @classmethod
     def from_dictionary(
@@ -192,6 +207,8 @@ class FaultCoverageReport:
             lines.append(
                 "uncovered (test holes): " + ", ".join(entry.label for entry in uncovered)
             )
+        if self.thresholds is not None:
+            lines.append(self.thresholds.to_text())
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -206,4 +223,5 @@ class FaultCoverageReport:
             "entries": [entry.to_dict() for entry in self.entries],
             "marginal": [entry.label for entry in self.marginal_faults()],
             "uncovered": [entry.label for entry in self.uncovered_faults()],
+            "thresholds": None if self.thresholds is None else self.thresholds.to_dict(),
         }

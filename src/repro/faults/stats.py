@@ -1,0 +1,233 @@
+"""Binomial confidence intervals for the adaptive campaign planner.
+
+Detection probabilities are estimated from small Bernoulli samples (a handful
+of BIST repeats per probe severity), so the planner's early-stopping rule
+needs honest interval estimates rather than raw fractions.  Two standard
+intervals are provided:
+
+* :func:`wilson_interval` — the Wilson score interval, the default: good
+  coverage at small ``n`` without the overshoot of the normal approximation;
+* :func:`clopper_pearson_interval` — the exact (conservative) interval from
+  inverting the binomial test, computed through the regularized incomplete
+  beta function so no SciPy dependency is needed.
+
+The supporting special functions (:func:`normal_quantile`,
+:func:`regularized_incomplete_beta`, :func:`beta_quantile`) are exposed for
+tests; they are deterministic, pure-Python implementations accurate to far
+better than the statistical resolution of any campaign.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ValidationError
+from ..utils.validation import check_in_range, check_integer, check_probability
+
+__all__ = [
+    "INTERVAL_METHODS",
+    "normal_quantile",
+    "regularized_incomplete_beta",
+    "beta_quantile",
+    "wilson_interval",
+    "clopper_pearson_interval",
+    "binomial_interval",
+]
+
+#: Interval methods understood by :func:`binomial_interval`.
+INTERVAL_METHODS = ("wilson", "clopper-pearson")
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Absolute error below 1.2e-9 over the open interval, refined here with one
+    Halley step against :func:`math.erfc` to full double precision.
+    """
+    p = check_in_range(p, "p", 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    # Acklam's coefficients.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    elif p <= p_high:
+        q = p - 0.5
+        r = q * q
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    else:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    # One Halley refinement against the exact CDF (erfc-based).
+    error = 0.5 * math.erfc(-x / math.sqrt(2.0)) - p
+    u = error * math.sqrt(2.0 * math.pi) * math.exp(x * x / 2.0)
+    return x - u / (1.0 + x * u / 2.0)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (modified Lentz method)."""
+    max_iterations = 300
+    eps = 3.0e-15
+    fpmin = 1.0e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < fpmin:
+        d = fpmin
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < fpmin:
+            d = fpmin
+        c = 1.0 + aa / c
+        if abs(c) < fpmin:
+            c = fpmin
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < fpmin:
+            d = fpmin
+        c = 1.0 + aa / c
+        if abs(c) < fpmin:
+            c = fpmin
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            return h
+    raise ValidationError(
+        f"incomplete beta continued fraction failed to converge (a={a}, b={b}, x={x})"
+    )
+
+
+def regularized_incomplete_beta(x: float, a: float, b: float) -> float:
+    """``I_x(a, b)``, the CDF of the Beta(a, b) distribution at ``x``."""
+    if a <= 0.0 or b <= 0.0:
+        raise ValidationError(f"beta parameters must be positive, got a={a!r}, b={b!r}")
+    x = check_in_range(x, "x", 0.0, 1.0)
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    log_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(log_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def beta_quantile(p: float, a: float, b: float) -> float:
+    """Inverse Beta(a, b) CDF by bisection on the monotone CDF."""
+    p = check_probability(p, "p")
+    if p == 0.0:
+        return 0.0
+    if p == 1.0:
+        return 1.0
+    low, high = 0.0, 1.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if regularized_incomplete_beta(mid, a, b) < p:
+            low = mid
+        else:
+            high = mid
+        if high - low < 1.0e-14:
+            break
+    return 0.5 * (low + high)
+
+
+def _check_counts(successes: int, trials: int) -> tuple:
+    trials = check_integer(trials, "trials", minimum=1)
+    successes = check_integer(successes, "successes", minimum=0)
+    if successes > trials:
+        raise ValidationError(
+            f"successes ({successes}) cannot exceed trials ({trials})"
+        )
+    return successes, trials
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> tuple:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` clamped to ``[0, 1]``.  The default interval of
+    the adaptive planner: near-nominal coverage at the tiny sample sizes a
+    probe runs before its early-stopping rule can fire.
+    """
+    successes, trials = _check_counts(successes, trials)
+    confidence = check_in_range(confidence, "confidence", 0.0, 1.0,
+                                inclusive_low=False, inclusive_high=False)
+    z = normal_quantile(0.5 + confidence / 2.0)
+    p_hat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p_hat + z2 / (2.0 * trials)) / denominator
+    half = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    low = 0.0 if successes == 0 else max(0.0, centre - half)
+    high = 1.0 if successes == trials else min(1.0, centre + half)
+    return (low, high)
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple:
+    """Exact (Clopper-Pearson) interval for a binomial proportion.
+
+    Conservative by construction — actual coverage is at least the nominal
+    confidence for every true proportion, which is the guarantee the
+    statistical acceptance suite checks against.
+    """
+    successes, trials = _check_counts(successes, trials)
+    confidence = check_in_range(confidence, "confidence", 0.0, 1.0,
+                                inclusive_low=False, inclusive_high=False)
+    alpha = 1.0 - confidence
+    if successes == 0:
+        low = 0.0
+    else:
+        low = beta_quantile(alpha / 2.0, successes, trials - successes + 1)
+    if successes == trials:
+        high = 1.0
+    else:
+        high = beta_quantile(1.0 - alpha / 2.0, successes + 1, trials - successes)
+    return (low, high)
+
+
+def binomial_interval(
+    successes: int,
+    trials: int,
+    confidence: float = 0.95,
+    method: str = "wilson",
+) -> tuple:
+    """Dispatch to the configured binomial interval method."""
+    if method == "wilson":
+        return wilson_interval(successes, trials, confidence)
+    if method == "clopper-pearson":
+        return clopper_pearson_interval(successes, trials, confidence)
+    raise ValidationError(
+        f"interval method must be one of {INTERVAL_METHODS}, got {method!r}"
+    )

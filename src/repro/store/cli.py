@@ -11,6 +11,12 @@ Subcommands
 ``resume``
     Identical execution semantics to ``run`` but requires the store to
     exist already — the explicit "pick up the interrupted campaign" verb.
+``adaptive``
+    Run an adaptive threshold-finding campaign: per fault family, locate the
+    minimal detectable severity by (probabilistic) bisection with CI-based
+    early stopping instead of sweeping the exhaustive severity grid.  Every
+    adaptive step is an ordinary fingerprinted scenario, so interrupting and
+    re-running the command (or hitting ``--budget``) resumes from the store.
 ``merge``
     Fold one or more source stores (e.g. shards produced by distributed
     workers) into a destination store, first record per fingerprint wins.
@@ -92,6 +98,47 @@ def _cmd_run(args, resume: bool = False) -> int:
     return 0 if not execution.errors else 1
 
 
+def _cmd_adaptive(args) -> int:
+    from ..bist.runner import ExecutionBudget
+    from ..faults import AdaptiveConfig, AdaptivePlanner, CampaignProbeBackend, TestLimits
+
+    store = CampaignStore(Path(args.store), shard=args.shard)
+    families = [name.strip() for name in args.families.split(",") if name.strip()]
+    limits = TestLimits(
+        use_bist_verdict=not args.no_bist_verdict,
+        max_skew_deviation_ps=args.max_skew_deviation_ps,
+    )
+    backend = CampaignProbeBackend(
+        [name.strip() for name in args.profiles.split(",") if name.strip()],
+        bist_config=_build_config(args),
+        limits=limits,
+        num_symbols=args.num_symbols,
+        max_workers=args.workers,
+        store=store,
+        progress_callback=(
+            None if args.quiet else lambda outcome: print("  " + outcome.summary())
+        ),
+    )
+    config = AdaptiveConfig(
+        num_steps=args.num_steps,
+        repeats_per_round=args.repeats,
+        strategy=args.strategy,
+    )
+    planner = AdaptivePlanner(backend, config)
+    budget = None if args.budget is None else ExecutionBudget(args.budget)
+    result = planner.run(families, budget=budget)
+    summary = result.summary()
+    print(result.report.to_text())
+    print(summary.to_text())
+    if args.output:
+        _save_json(
+            args.output,
+            {"report": result.report.to_dict(), "summary": summary.to_dict()},
+        )
+        print(f"threshold report written to {args.output}")
+    return 0 if summary.num_errors == 0 else 1
+
+
 def _cmd_merge(args) -> int:
     destination = CampaignStore(args.into, shard=args.shard)
     added = destination.merge(*args.sources)
@@ -169,6 +216,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_arguments(resume)
 
+    adaptive = commands.add_parser(
+        "adaptive", help="adaptive per-family threshold search against a store"
+    )
+    _add_run_arguments(adaptive)
+    adaptive.add_argument(
+        "--families",
+        required=True,
+        help="comma-separated fault family names (see repro.faults.models)",
+    )
+    adaptive.add_argument(
+        "--num-steps", type=int, default=16, help="severity-grid resolution"
+    )
+    adaptive.add_argument(
+        "--repeats", type=int, default=3, help="BIST repeats per early-stopping round"
+    )
+    adaptive.add_argument(
+        "--strategy",
+        choices=("bisection", "probabilistic"),
+        default="bisection",
+        help="threshold-search strategy",
+    )
+    adaptive.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="cap on fresh scenario executions (cache hits are free); "
+        "re-run the command to resume once exhausted",
+    )
+    adaptive.add_argument(
+        "--max-skew-deviation-ps",
+        type=float,
+        default=None,
+        help="explicit skew-deviation limit added to the screen",
+    )
+    adaptive.add_argument(
+        "--no-bist-verdict",
+        action="store_true",
+        help="ignore the BIST's own per-profile verdict in the screen",
+    )
+
     merge = commands.add_parser("merge", help="merge source stores into a destination")
     merge.add_argument("--into", required=True, help="destination store directory")
     merge.add_argument("--shard", default="campaign", help="destination shard stem")
@@ -206,6 +293,8 @@ def main(argv=None) -> int:
             return _cmd_run(args)
         if args.command == "resume":
             return _cmd_run(args, resume=True)
+        if args.command == "adaptive":
+            return _cmd_adaptive(args)
         if args.command == "merge":
             return _cmd_merge(args)
         if args.command == "compare":

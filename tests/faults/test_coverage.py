@@ -191,6 +191,35 @@ class TestMonteCarlo:
         with pytest.raises(ValidationError):
             dictionary.monte_carlo(num_trials=0)
 
+    def test_zero_detected_family_short_circuits_exactly(self):
+        # Regression: a family with zero detected scenarios must not
+        # re-derive its detection from the flag grid — every unit carrying
+        # it escapes, with no Monte Carlo noise on that contribution.
+        dictionary = FaultDictionary(
+            records=(record(DcdeErrorFault(), "dcde-error-s1", [False] * 3),),
+            references=tuple(signature(f"r{i}") for i in range(4)),
+        )
+        estimate = dictionary.monte_carlo(fault_probability=0.3, num_trials=5000)
+        assert estimate.faulty_pass_rate == 1.0
+
+    def test_homogeneous_short_circuit_is_draw_identical(self):
+        # The short-circuit skips the per-trial repeat lookup for
+        # homogeneous families, so the *number* of archived repeats of such
+        # a family must not perturb any random stream: estimates over
+        # dictionaries differing only in that count are bit-identical.
+        def build(num_dcde_repeats):
+            return FaultDictionary(
+                records=(
+                    record(PaCompressionFault(severity=0.5), "pa-compression-s0.5", [True, False]),
+                    record(DcdeErrorFault(), "dcde-error-s1", [False] * num_dcde_repeats),
+                ),
+                references=tuple(signature(f"r{i}") for i in range(4)),
+            )
+
+        short = build(2).monte_carlo(fault_probability=0.4, num_trials=8000, seed=5)
+        long = build(6).monte_carlo(fault_probability=0.4, num_trials=8000, seed=5)
+        assert short == long
+
 
 class TestSerialization:
     def test_dictionary_round_trip(self):

@@ -19,7 +19,15 @@ from repro.bist.measurements import TxMeasurements
 from repro.bist.report import BistReport, CheckResult, SkewCalibrationReport, Verdict
 from repro.bist.runner import CampaignExecution, ScenarioOutcome
 from repro.dsp.spectrum import SpectrumEstimate
-from repro.faults import FaultSignature, TestLimits
+from repro.faults import (
+    AdaptiveConfig,
+    FamilyThreshold,
+    FaultSignature,
+    ImportanceEscapeEstimate,
+    ProbeResult,
+    TestLimits,
+    ThresholdReport,
+)
 from repro.rf.amplifier import (
     IdealAmplifier,
     PolynomialAmplifier,
@@ -306,6 +314,87 @@ def random_limits(rng: random.Random) -> TestLimits:
     )
 
 
+def random_adaptive_config(rng: random.Random) -> AdaptiveConfig:
+    min_severity = rng.uniform(0.0, 0.3)
+    return AdaptiveConfig(
+        num_steps=rng.randrange(2, 64),
+        min_severity=min_severity,
+        max_severity=rng.uniform(min_severity + 0.1, 1.0),
+        repeats_per_round=rng.randrange(1, 6),
+        max_rounds_per_probe=rng.randrange(1, 4),
+        detection_threshold=rng.uniform(0.2, 0.8),
+        confidence=rng.uniform(0.8, 0.99),
+        interval_method=rng.choice(["wilson", "clopper-pearson"]),
+        strategy=rng.choice(["bisection", "probabilistic"]),
+        verdict_error_rate=rng.uniform(0.0, 0.4),
+        pba_stop_posterior=rng.uniform(0.7, 0.99),
+        pba_max_queries=rng.randrange(1, 50),
+    )
+
+
+def random_probe_result(rng: random.Random) -> ProbeResult:
+    trials = rng.randrange(1, 12)
+    ci_low, ci_high = sorted((rng.random(), rng.random()))
+    return ProbeResult(
+        severity=rng.uniform(0.0, 1.0),
+        num_detected=rng.randrange(0, trials + 1),
+        num_trials=trials,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        decision=rng.choice(["detected", "undetected"]),
+        conclusive=rng.random() < 0.7,
+    )
+
+
+def random_family_threshold(rng: random.Random) -> FamilyThreshold:
+    grid_size = rng.randrange(2, 33)
+    probes = tuple(random_probe_result(rng) for _ in range(rng.randrange(1, 5)))
+    found = rng.random() < 0.7
+    if found:
+        threshold_index = rng.randrange(0, grid_size)
+        threshold = rng.uniform(0.0, 1.0)
+        ci_low, ci_high = sorted((rng.random(), rng.random()))
+    else:
+        threshold_index = threshold = ci_low = ci_high = None
+    return FamilyThreshold(
+        family=rng.choice(["pa-compression", "dcde-error", "fuzz-family"]),
+        profile_name=rng.choice(["paper-qpsk-1ghz", "synthetic"]),
+        found=found,
+        threshold=threshold,
+        threshold_index=threshold_index,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        scenarios_spent=sum(probe.num_trials for probe in probes),
+        grid_size=grid_size,
+        strategy=rng.choice(["bisection", "probabilistic"]),
+        probes=probes,
+        posterior_confidence=maybe(rng, rng.uniform(0.5, 1.0)),
+    )
+
+
+def random_threshold_report(rng: random.Random) -> ThresholdReport:
+    return ThresholdReport(
+        config=random_adaptive_config(rng),
+        thresholds=tuple(
+            random_family_threshold(rng) for _ in range(rng.randrange(1, 4))
+        ),
+    )
+
+
+def random_importance_estimate(rng: random.Random) -> ImportanceEscapeEstimate:
+    return ImportanceEscapeEstimate(
+        fault_probability=rng.uniform(0.01, 0.2),
+        num_trials=rng.randrange(1, 10**5),
+        test_escape_rate=rng.uniform(0.0, 0.1),
+        yield_loss_rate=rng.uniform(0.0, 0.1),
+        faulty_pass_rate=rng.uniform(0.0, 1.0),
+        standard_error=rng.uniform(0.0, 0.05),
+        effective_sample_size=rng.uniform(1.0, 10**4),
+        proposal_floor=rng.uniform(0.05, 1.0),
+        seed=rng.randrange(2**31),
+    )
+
+
 #: Every fuzzed dataclass: (generator, from_dict caller, exact-equality safe).
 #: Classes whose fields hold arrays/dicts compare via to_dict only.
 CASES = {
@@ -324,6 +413,15 @@ CASES = {
     "CampaignExecution": (random_execution, CampaignExecution.from_dict, False),
     "FaultSignature": (random_signature, FaultSignature.from_dict, True),
     "TestLimits": (random_limits, TestLimits.from_dict, True),
+    "AdaptiveConfig": (random_adaptive_config, AdaptiveConfig.from_dict, True),
+    "ProbeResult": (random_probe_result, ProbeResult.from_dict, True),
+    "FamilyThreshold": (random_family_threshold, FamilyThreshold.from_dict, True),
+    "ThresholdReport": (random_threshold_report, ThresholdReport.from_dict, True),
+    "ImportanceEscapeEstimate": (
+        random_importance_estimate,
+        ImportanceEscapeEstimate.from_dict,
+        True,
+    ),
 }
 
 
