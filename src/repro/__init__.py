@@ -26,6 +26,14 @@ radio transmitters end to end:
 """
 
 from . import adc, bist, calibration, core, dsp, faults, rf, sampling, signals, store, transmitter, utils
+from .backend import (
+    ArrayBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from .errors import (
     AliasingError,
     CalibrationError,
@@ -55,6 +63,12 @@ __all__ = [
     "store",
     "transmitter",
     "utils",
+    "ArrayBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "ReproError",
     "ConfigurationError",
     "ValidationError",

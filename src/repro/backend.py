@@ -1,0 +1,159 @@
+"""Pluggable array backend: NumPy today, CuPy/JAX behind the same seam.
+
+The stacked reconstruction kernels (:mod:`repro.sampling.reconstruction`,
+the campaign compiler) are expressed against a small ``xp`` interface — the
+NumPy-compatible module namespace plus explicit host-transfer helpers — so
+moving them onto an accelerator is a backend swap, not a rewrite.  The rules
+of the seam:
+
+* arrays are created on the backend (``backend.asarray``) and stay there
+  through the whole kernel; conversions back to host NumPy happen only at
+  the result boundary (``backend.to_numpy``);
+* NumPy is the only *hard* dependency: CuPy and JAX are probed lazily and
+  requesting an uninstalled backend raises
+  :class:`~repro.errors.ConfigurationError` with an actionable message;
+* the NumPy backend is bit-identical with direct NumPy code — ``asarray``
+  and ``to_numpy`` are identity functions for NumPy arrays — so the
+  ``reference_evaluate`` oracle and the serial==parallel==compiled
+  determinism gates hold unchanged under the default backend.
+
+Code on a hot path may keep a NumPy-specific fast path (e.g. ``np.divide``
+with ``out=``/``where=``) guarded by ``backend.is_numpy``; the generic branch
+must compute the same quantity through the portable subset of the ``xp``
+namespace.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import ConfigurationError, ValidationError
+
+__all__ = [
+    "ArrayBackend",
+    "NUMPY_BACKEND",
+    "available_backends",
+    "get_backend",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+]
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One array namespace plus its host-transfer functions.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"cupy"``, ``"jax"``).
+    xp:
+        The NumPy-compatible module namespace kernels compute with
+        (``numpy``, ``cupy`` or ``jax.numpy``).
+    """
+
+    name: str
+    xp: object = field(repr=False)
+
+    @property
+    def is_numpy(self) -> bool:
+        """Whether this backend is plain host NumPy (enables fast paths)."""
+        return self.xp is np
+
+    def asarray(self, array, dtype=None):
+        """Move/convert an array onto this backend (identity for NumPy)."""
+        if self.is_numpy:
+            return np.asarray(array, dtype=dtype)
+        return self.xp.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Bring a backend array back to host NumPy (identity for NumPy)."""
+        if self.is_numpy:
+            return np.asarray(array)
+        # CuPy exposes .get(); JAX arrays (and anything array-like) convert
+        # through np.asarray, which triggers the device-to-host copy.
+        getter = getattr(array, "get", None)
+        if callable(getter):
+            return np.asarray(getter())
+        return np.asarray(array)
+
+
+NUMPY_BACKEND = ArrayBackend(name="numpy", xp=np)
+
+#: Optional backends and the module that provides their ``xp`` namespace.
+_OPTIONAL_BACKENDS = {"cupy": "cupy", "jax": "jax.numpy"}
+
+_active: ArrayBackend = NUMPY_BACKEND
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends importable in this environment (NumPy always)."""
+    names = ["numpy"]
+    for name, module in _OPTIONAL_BACKENDS.items():
+        try:
+            importlib.import_module(module)
+        except ImportError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def get_backend(name: str | ArrayBackend) -> ArrayBackend:
+    """Resolve a backend by name (pass-through for backend instances)."""
+    if isinstance(name, ArrayBackend):
+        return name
+    if not isinstance(name, str):
+        raise ValidationError("backend must be an ArrayBackend or a backend name")
+    key = name.lower()
+    if key == "numpy":
+        return NUMPY_BACKEND
+    module = _OPTIONAL_BACKENDS.get(key)
+    if module is None:
+        known = ", ".join(["numpy", *_OPTIONAL_BACKENDS])
+        raise ValidationError(f"unknown array backend {name!r}; known backends: {known}")
+    try:
+        xp = importlib.import_module(module)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"array backend {name!r} requested but {module!r} is not installed; "
+            "install it or stay on the default NumPy backend"
+        ) from exc
+    return ArrayBackend(name=key, xp=xp)
+
+
+def active_backend() -> ArrayBackend:
+    """The process-wide backend new kernels are compiled against."""
+    return _active
+
+
+def set_backend(name: str | ArrayBackend) -> ArrayBackend:
+    """Switch the process-wide backend; returns the resolved backend.
+
+    Already-constructed plans keep the backend they were built with — the
+    switch only affects subsequently built kernels, mirroring how a GPU
+    deployment would pin the backend once at start-up.
+    """
+    global _active
+    _active = get_backend(name)
+    return _active
+
+
+class use_backend:
+    """Context manager scoping a backend switch (mainly for tests)."""
+
+    def __init__(self, name: str | ArrayBackend) -> None:
+        self._target = get_backend(name)
+        self._previous: ArrayBackend | None = None
+
+    def __enter__(self) -> ArrayBackend:
+        self._previous = active_backend()
+        set_backend(self._target)
+        return self._target
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is not None:
+            set_backend(self._previous)

@@ -40,6 +40,7 @@ __all__ = [
     "scenario_bandwidth",
     "scenario_num_samples_fast",
     "scenario_bist_config",
+    "build_scenario_engine",
     "execute_scenario",
     "MIN_OFDM_SYMBOLS_IN_WINDOW",
 ]
@@ -263,6 +264,57 @@ def scenario_bist_config(
     return config
 
 
+def build_scenario_engine(
+    scenario: CampaignScenario,
+    bist_config: BistConfig | None = None,
+    converter_factory=None,
+    seed: int | None | type(...) = ...,
+    plan_structure_cache=None,
+):
+    """Construct the engine and burst for one scenario without running it.
+
+    Factored out of :func:`execute_scenario` so the campaign compiler can
+    drive the engine's :meth:`~repro.bist.engine.TransmitterBist.prepare` /
+    :meth:`~repro.bist.engine.TransmitterBist.finish` halves separately while
+    keeping the seed-derivation arithmetic in exactly one place.  Returns
+    ``(engine, burst)`` where ``burst`` is ``None`` unless the scenario pins
+    an explicit ``num_symbols`` (matching ``execute_scenario``'s behaviour of
+    letting the engine transmit for its required duration otherwise).
+    """
+    if not isinstance(scenario, CampaignScenario):
+        raise ValidationError("scenario must be a CampaignScenario")
+    base_config = bist_config if bist_config is not None else BistConfig()
+    profile = scenario.resolved_profile()
+    config = scenario_bist_config(scenario, base_config, seed=seed)
+    factory = scenario.converter
+    if factory is None:
+        factory = converter_factory if converter_factory is not None else ConverterSpec()
+    if seed is ... :
+        transmitter_config = TransmitterConfig.from_profile(profile, impairments=scenario.impairments)
+    else:
+        transmitter_seed = None if seed is None else (int(seed) + 0x5DEECE66) % (2**32)
+        transmitter_config = TransmitterConfig.from_profile(
+            profile, impairments=scenario.impairments, seed=transmitter_seed
+        )
+        if isinstance(factory, ConverterSpec):
+            converter_seed = None if seed is None else (int(seed) + 0x2545F491) % (2**32)
+            factory = replace(factory, seed=converter_seed)
+    transmitter = HomodyneTransmitter(transmitter_config)
+    converter = factory(config.acquisition_bandwidth_hz)
+    engine = TransmitterBist(
+        transmitter,
+        converter,
+        profile=profile,
+        config=config,
+        plan_structure_cache=plan_structure_cache,
+    )
+    if scenario.num_symbols is not None:
+        burst = transmitter.transmit(num_symbols=scenario.num_symbols)
+    else:
+        burst = None
+    return engine, burst
+
+
 def execute_scenario(
     scenario: CampaignScenario,
     bist_config: BistConfig | None = None,
@@ -294,31 +346,9 @@ def execute_scenario(
         converter's jitter realisation, each on a distinct derived stream;
         an arbitrary factory callable is used as-is.
     """
-    if not isinstance(scenario, CampaignScenario):
-        raise ValidationError("scenario must be a CampaignScenario")
-    base_config = bist_config if bist_config is not None else BistConfig()
-    profile = scenario.resolved_profile()
-    config = scenario_bist_config(scenario, base_config, seed=seed)
-    factory = scenario.converter
-    if factory is None:
-        factory = converter_factory if converter_factory is not None else ConverterSpec()
-    if seed is ... :
-        transmitter_config = TransmitterConfig.from_profile(profile, impairments=scenario.impairments)
-    else:
-        transmitter_seed = None if seed is None else (int(seed) + 0x5DEECE66) % (2**32)
-        transmitter_config = TransmitterConfig.from_profile(
-            profile, impairments=scenario.impairments, seed=transmitter_seed
-        )
-        if isinstance(factory, ConverterSpec):
-            converter_seed = None if seed is None else (int(seed) + 0x2545F491) % (2**32)
-            factory = replace(factory, seed=converter_seed)
-    transmitter = HomodyneTransmitter(transmitter_config)
-    converter = factory(config.acquisition_bandwidth_hz)
-    engine = TransmitterBist(transmitter, converter, profile=profile, config=config)
-    if scenario.num_symbols is not None:
-        burst = transmitter.transmit(num_symbols=scenario.num_symbols)
-    else:
-        burst = None
+    engine, burst = build_scenario_engine(
+        scenario, bist_config=bist_config, converter_factory=converter_factory, seed=seed
+    )
     return engine.run(burst)
 
 

@@ -30,25 +30,26 @@ from ..calibration.gain_offset import correct_gain_offset
 from ..calibration.lms import LmsSkewEstimator
 from ..errors import ConfigurationError, MeasurementError, ValidationError
 from ..sampling.bandpass import BandpassBand
-from ..sampling.reconstruction import NonuniformReconstructor
+from ..sampling.reconstruction import NonuniformReconstructor, PlanStructureCache
 from ..signals.standards import WaveformProfile, get_profile
 from ..transmitter.chain import HomodyneTransmitter, TransmissionResult
 from ..utils.serialization import field_dict, known_field_kwargs
 from ..utils.validation import check_integer, check_positive
 from .masks import SpectralMask
 from .measurements import (
-    OFDM_DENSE_OVERSAMPLING,
     TxMeasurements,
+    dense_measurement_rate,
     measure_acpr,
     measure_evm,
     measure_occupied_bandwidth,
     measure_ofdm_evm,
     measure_spectrum_from_samples,
     render_uniform,
+    uniform_render_grid,
 )
 from .report import BistReport, CheckResult, SkewCalibrationReport, Verdict
 
-__all__ = ["BistConfig", "TransmitterBist"]
+__all__ = ["BistConfig", "BistStage", "TransmitterBist"]
 
 
 @dataclass(frozen=True)
@@ -136,6 +137,28 @@ class BistConfig:
         return cls(**known_field_kwargs(cls, data))
 
 
+@dataclass(frozen=True)
+class BistStage:
+    """Intermediate state of a BIST run, split at the reconstruction boundary.
+
+    :meth:`TransmitterBist.prepare` runs everything up to and including the
+    skew calibration and reconstructor construction; :meth:`TransmitterBist.finish`
+    performs the measurement and evaluation.  The split exists for the
+    campaign compiler: the dense measurement render — the dominant remaining
+    cost once plan structures are shared — can then be computed *across*
+    scenarios as one stacked kernel and handed back in through ``finish``'s
+    ``dense_render`` argument.  ``TransmitterBist.run`` is exactly
+    ``finish(prepare(burst))``.
+    """
+
+    burst: TransmissionResult
+    fast_set: object
+    slow_set: object
+    calibration: SkewCalibrationReport
+    estimate: float
+    reconstructor: NonuniformReconstructor
+
+
 class TransmitterBist:
     """End-to-end BIST of a homodyne SDR transmitter.
 
@@ -151,6 +174,13 @@ class TransmitterBist:
         against; defaults to the profile matching the paper's setup.
     config:
         Engine tuning knobs.
+    plan_structure_cache:
+        Optional :class:`~repro.sampling.reconstruction.PlanStructureCache`
+        threaded into every reconstruction plan this engine builds (the LMS
+        cost plans and the measurement renders).  Campaign-compiled groups
+        share one cache across scenarios so the expensive taper/kernel
+        trigonometry is built once per distinct grid instead of once per
+        scenario; results are bit-identical with and without a cache.
     """
 
     def __init__(
@@ -159,6 +189,7 @@ class TransmitterBist:
         converter: BpTiadc,
         profile: WaveformProfile | str | None = None,
         config: BistConfig | None = None,
+        plan_structure_cache: PlanStructureCache | None = None,
     ) -> None:
         if not isinstance(transmitter, HomodyneTransmitter):
             raise ValidationError("transmitter must be a HomodyneTransmitter")
@@ -173,9 +204,14 @@ class TransmitterBist:
             profile = get_profile(profile)
         if profile is None:
             profile = get_profile("paper-qpsk-1ghz")
+        if plan_structure_cache is not None and not isinstance(
+            plan_structure_cache, PlanStructureCache
+        ):
+            raise ValidationError("plan_structure_cache must be a PlanStructureCache")
         self._transmitter = transmitter
         self._converter = converter
         self._profile = profile
+        self._structure_cache = plan_structure_cache
         self._band = BandpassBand.from_centre(
             transmitter.carrier_frequency, self._config.acquisition_bandwidth_hz
         )
@@ -212,6 +248,16 @@ class TransmitterBist:
 
     def run(self, burst: TransmissionResult | None = None) -> BistReport:
         """Execute the full BIST and return its report."""
+        return self.finish(self.prepare(burst))
+
+    def prepare(self, burst: TransmissionResult | None = None) -> BistStage:
+        """Run the BIST up to the calibrated reconstructor (no measurements).
+
+        Performs transmission, both acquisitions, optional static-mismatch
+        correction and the LMS skew estimation, returning a
+        :class:`BistStage` for :meth:`finish`.  The split lets the campaign
+        compiler batch the dense measurement render across scenarios.
+        """
         config = self._config
         if burst is None:
             burst = self._transmitter.transmit_for_duration(self.required_burst_duration())
@@ -226,16 +272,56 @@ class TransmitterBist:
             fast_set,
             assumed_delay=estimate,
             num_taps=config.num_taps,
+            structure_cache=self._structure_cache,
         )
-        measurements = self._measure(reconstructor, burst)
+        return BistStage(
+            burst=burst,
+            fast_set=fast_set,
+            slow_set=slow_set,
+            calibration=calibration,
+            estimate=estimate,
+            reconstructor=reconstructor,
+        )
+
+    def finish(self, stage: BistStage, dense_render: tuple | None = None) -> BistReport:
+        """Measure and evaluate a prepared stage into the final report.
+
+        ``dense_render`` optionally supplies the ``(times, samples, rate)``
+        dense measurement render — exactly what the engine would compute via
+        :meth:`dense_measurement_grid` — letting compiled campaigns evaluate
+        it as a stacked kernel across scenarios.  ``finish(prepare(burst))``
+        with ``dense_render=None`` is bit-identical to the original
+        single-shot ``run``.
+        """
+        if not isinstance(stage, BistStage):
+            raise ValidationError("stage must be a BistStage from prepare()")
+        measurements = self._measure(stage.reconstructor, stage.burst, dense_render=dense_render)
         checks, mask_result = self._evaluate(measurements)
         return BistReport(
             profile_name=self._profile.name,
-            calibration=calibration,
+            calibration=stage.calibration,
             measurements=measurements,
             checks=tuple(checks),
             mask_result=mask_result,
         )
+
+    def dense_measurement_grid(self, stage: BistStage) -> tuple[np.ndarray, float]:
+        """The exact dense grid ``finish`` will measure ``stage`` on.
+
+        Returns ``(times, sample_rate)`` bitwise identical with what
+        :meth:`_measure` computes internally, so a caller can evaluate the
+        render externally (e.g. stacked across scenarios) and pass it back
+        through :meth:`finish`'s ``dense_render``.
+        """
+        if not isinstance(stage, BistStage):
+            raise ValidationError("stage must be a BistStage from prepare()")
+        reconstructor = stage.reconstructor
+        valid_low, valid_high = reconstructor.valid_time_range()
+        envelope_rate = (
+            stage.burst.config.envelope_sample_rate if stage.burst.config.ofdm is not None else None
+        )
+        dense_rate = dense_measurement_rate(self._band.f_high, envelope_rate)
+        return uniform_render_grid(reconstructor, valid_low, valid_high, sample_rate=dense_rate)
 
     # ------------------------------------------------------------------ #
     # Steps
@@ -274,6 +360,7 @@ class TransmitterBist:
             num_taps=config.num_taps,
             num_evaluation_points=config.num_cost_points,
             seed=config.seed,
+            structure_cache=self._structure_cache,
         )
         initial = (
             config.programmed_delay_seconds
@@ -297,32 +384,38 @@ class TransmitterBist:
         )
         return report, result.estimate
 
-    def _measure(self, reconstructor: NonuniformReconstructor, burst: TransmissionResult) -> TxMeasurements:
+    def _measure(
+        self,
+        reconstructor: NonuniformReconstructor,
+        burst: TransmissionResult,
+        dense_render: tuple | None = None,
+    ) -> TxMeasurements:
         """Derive the transmitter measurements from the calibrated reconstruction.
 
         The reconstruction is rendered onto the dense measurement grid once;
         the output power and the Welch spectrum are both computed from that
-        single render.  The EVM path needs a different grid rate and renders
-        it separately (through a throwaway plan — dense grids are
-        deliberately not cached).
+        single render (supplied externally via ``dense_render`` when a
+        compiled campaign evaluated it as part of a stacked kernel).  The
+        single-carrier EVM path needs a different grid rate and renders it
+        separately (through a throwaway plan — dense grids are deliberately
+        not cached).
         """
         config = self._config
         profile = self._profile
-        valid_low, valid_high = reconstructor.valid_time_range()
-        # OFDM windows render once at the reduced shared rate (see
-        # OFDM_DENSE_OVERSAMPLING), snapped to an integer multiple of the
-        # envelope rate so the same render feeds both the spectrum and the
-        # EVM demodulation; the single-carrier rate is untouched.
-        dense_rate = None
-        if burst.config.ofdm is not None:
-            envelope_rate = burst.config.envelope_sample_rate
-            dense_rate = (
-                np.ceil(OFDM_DENSE_OVERSAMPLING * self._band.f_high / envelope_rate)
-                * envelope_rate
+        if dense_render is None:
+            valid_low, valid_high = reconstructor.valid_time_range()
+            # OFDM windows render once at the reduced shared rate, snapped to
+            # an integer multiple of the envelope rate so the same render
+            # feeds both the spectrum and the EVM demodulation; the
+            # single-carrier rate is untouched (see dense_measurement_rate).
+            dense_rate = dense_measurement_rate(
+                self._band.f_high,
+                burst.config.envelope_sample_rate if burst.config.ofdm is not None else None,
             )
-        times, samples, rate = render_uniform(
-            reconstructor, valid_low, valid_high, sample_rate=dense_rate
-        )
+            dense_render = render_uniform(
+                reconstructor, valid_low, valid_high, sample_rate=dense_rate
+            )
+        times, samples, rate = dense_render
         output_power = float(np.mean(samples**2))
         spectrum = measure_spectrum_from_samples(
             samples, rate, bandwidth_hz=reconstructor.kernel.band.bandwidth

@@ -351,6 +351,12 @@ class CampaignSummary:
     #: as a miss (everything executed).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Scenarios whose outcome was fanned out from an identical-fingerprint
+    #: primary inside the same batch (no execution, no store lookup).
+    deduplicated: int = 0
+    #: Campaign-compiler statistics (``CompilerStats.to_dict()``) when the
+    #: campaign ran with ``compile=True``; ``None`` otherwise.
+    compiler: dict | None = None
     #: Adaptive-campaign efficiency: how many exhaustive-grid scenarios each
     #: executed scenario replaced (``None`` for non-adaptive campaigns).
     scenarios_saved_vs_grid: float | None = None
@@ -362,6 +368,8 @@ class CampaignSummary:
         errors=(),
         cache_hits: int = 0,
         cache_misses: int | None = None,
+        deduplicated: int = 0,
+        compiler_stats: dict | None = None,
         scenarios_saved_vs_grid: float | None = None,
     ) -> "CampaignSummary":
         """Aggregate ``(label, report)`` pairs and ``(label, error)`` pairs."""
@@ -408,7 +416,7 @@ class CampaignSummary:
         num_passed = sum(report.passed for _, report in entries)
         num_scenarios = len(entries) + len(errors)
         if cache_misses is None:
-            cache_misses = num_scenarios - cache_hits
+            cache_misses = num_scenarios - cache_hits - deduplicated
         return cls(
             num_scenarios=num_scenarios,
             num_passed=num_passed,
@@ -420,6 +428,8 @@ class CampaignSummary:
             max_skew_error_ps=max_skew,
             cache_hits=int(cache_hits),
             cache_misses=int(cache_misses),
+            deduplicated=int(deduplicated),
+            compiler=(None if compiler_stats is None else dict(compiler_stats)),
             scenarios_saved_vs_grid=(
                 None if scenarios_saved_vs_grid is None else float(scenarios_saved_vs_grid)
             ),
@@ -450,10 +460,20 @@ class CampaignSummary:
                 f"{self.num_errors} errored (pass rate {self.pass_rate * 100.0:.1f}%)"
             )
         ]
-        if self.cache_hits:
+        if self.cache_hits or self.deduplicated:
+            dedup = f"{self.deduplicated} deduplicated, " if self.deduplicated else ""
             lines.append(
                 f"campaign store: {self.cache_hits} cache hit(s), "
-                f"{self.cache_misses} executed"
+                f"{dedup}{self.cache_misses} executed"
+            )
+        if self.compiler is not None:
+            cache = self.compiler.get("structure_cache") or {}
+            lines.append(
+                f"campaign compiler: {self.compiler.get('groups_formed', 0)} group(s), "
+                f"{self.compiler.get('scenarios_batched', 0)} batched, "
+                f"{self.compiler.get('scenarios_pooled', 0)} pooled "
+                f"(structure cache: {cache.get('hits', 0)} hit(s), "
+                f"{cache.get('misses', 0)} miss(es))"
             )
         if self.scenarios_saved_vs_grid is not None:
             lines.append(
@@ -495,6 +515,8 @@ class CampaignSummary:
             "pass_rate": self.pass_rate,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "deduplicated": self.deduplicated,
+            "compiler": self.compiler,
             "scenarios_saved_vs_grid": self.scenarios_saved_vs_grid,
             "mean_skew_error_ps": self.mean_skew_error_ps,
             "max_skew_error_ps": self.max_skew_error_ps,

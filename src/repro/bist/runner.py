@@ -104,10 +104,15 @@ class ScenarioOutcome:
         Wall-clock execution time of this scenario.
     worker:
         Identifier of the process that executed the scenario (``"store"``
-        for cache hits).
+        for cache hits, ``"dedup"`` for fingerprint-duplicate fan-outs,
+        ``"compiled-pid-..."`` for compiled group execution).
     cached:
         Whether the outcome was served from a campaign store instead of
         being executed.
+    deduplicated:
+        Whether the outcome was fanned out from another scenario in the
+        same run that shares its fingerprint (identical fingerprints imply
+        bit-identical reports, so duplicates execute once).
     """
 
     index: int
@@ -118,6 +123,7 @@ class ScenarioOutcome:
     duration_seconds: float = 0.0
     worker: str = ""
     cached: bool = False
+    deduplicated: bool = False
 
     @property
     def ok(self) -> bool:
@@ -144,6 +150,7 @@ class ScenarioOutcome:
             "duration_seconds": self.duration_seconds,
             "worker": self.worker,
             "cached": self.cached,
+            "deduplicated": self.deduplicated,
         }
 
     @classmethod
@@ -159,6 +166,7 @@ class ScenarioOutcome:
             duration_seconds=data.get("duration_seconds", 0.0),
             worker=data.get("worker", ""),
             cached=data.get("cached", False),
+            deduplicated=data.get("deduplicated", False),
         )
 
 
@@ -168,9 +176,13 @@ class CampaignExecution:
 
     Unlike :class:`~repro.bist.campaign.CampaignResult`, this keeps failed
     scenarios (as error outcomes) alongside the successful reports.
+    ``compiler_stats`` carries the :class:`~repro.bist.compiler.CompilerStats`
+    of a ``compile=True`` run (``None`` for uncompiled runs and archives
+    written before the compiler existed).
     """
 
     outcomes: tuple
+    compiler_stats: object | None = None
 
     def __post_init__(self) -> None:
         if not self.outcomes:
@@ -209,9 +221,14 @@ class CampaignExecution:
         return sum(outcome.cached for outcome in self.outcomes)
 
     @property
+    def dedup_hits(self) -> int:
+        """Scenarios served by fanning out an identical-fingerprint result."""
+        return sum(outcome.deduplicated for outcome in self.outcomes)
+
+    @property
     def cache_misses(self) -> int:
-        """Scenarios that actually executed (everything not served cached)."""
-        return len(self.outcomes) - self.cache_hits
+        """Scenarios that actually executed (neither cached nor deduplicated)."""
+        return len(self.outcomes) - self.cache_hits - self.dedup_hits
 
     def to_result(self) -> CampaignResult:
         """Convert to the classic :class:`CampaignResult`.
@@ -233,6 +250,10 @@ class CampaignExecution:
             errors=self.errors,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            deduplicated=self.dedup_hits,
+            compiler_stats=(
+                None if self.compiler_stats is None else self.compiler_stats.to_dict()
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -243,13 +264,24 @@ class CampaignExecution:
         ``json.dumps`` / ``json.loads`` cycle, so fault-campaign results can
         be stored as artifacts and re-analysed without re-running the BIST.
         """
-        return {"outcomes": [outcome.to_dict() for outcome in self.outcomes]}
+        payload = {"outcomes": [outcome.to_dict() for outcome in self.outcomes]}
+        if self.compiler_stats is not None:
+            payload["compiler_stats"] = self.compiler_stats.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignExecution":
         """Rebuild an execution serialized with :meth:`to_dict`."""
+        stats_data = data.get("compiler_stats")
+        if stats_data is not None:
+            from .compiler import CompilerStats
+
+            stats = CompilerStats.from_dict(stats_data)
+        else:
+            stats = None
         return cls(
-            outcomes=tuple(ScenarioOutcome.from_dict(outcome) for outcome in data["outcomes"])
+            outcomes=tuple(ScenarioOutcome.from_dict(outcome) for outcome in data["outcomes"]),
+            compiler_stats=stats,
         )
 
 
@@ -345,6 +377,16 @@ def _execute_task(task: _ScenarioTask) -> ScenarioOutcome:
         )
 
 
+def _execute_chunk(tasks) -> list[ScenarioOutcome]:
+    """Worker entry point: run a chunk of scenarios, never raise.
+
+    Chunked submission amortises the per-future pickle/IPC overhead over
+    several scenarios; each scenario still executes through
+    :func:`_execute_task`, so chunking cannot change any individual result.
+    """
+    return [_execute_task(task) for task in tasks]
+
+
 class CampaignRunner:
     """Execute campaign scenarios, optionally on a process pool.
 
@@ -386,6 +428,18 @@ class CampaignRunner:
         interrupted campaign resumes from where it stopped and re-runs are
         incremental.  Requires declarative :class:`ConverterSpec` converter
         factories (arbitrary callables cannot be fingerprinted).
+    dedup:
+        Whether :meth:`run` collapses identical-fingerprint scenarios within
+        one grid onto a single execution, fanning the result out to every
+        duplicate label (``deduplicated=True`` outcomes).  Identical
+        fingerprints guarantee bit-identical reports, so dedup never changes
+        results; it is skipped silently when the converter factory is not a
+        declarative :class:`ConverterSpec` (nothing can be fingerprinted).
+    chunk_size:
+        Scenarios shipped to a pool worker per future.  ``None`` (default)
+        auto-tunes to roughly four chunks per worker, which amortises the
+        per-future pickle/IPC overhead on large grids while keeping the
+        pool load-balanced; serial==parallel bit-identity is unaffected.
     """
 
     def __init__(
@@ -396,6 +450,8 @@ class CampaignRunner:
         seed_policy: str = "shared",
         progress_callback=None,
         store=None,
+        dedup: bool = True,
+        chunk_size: int | None = None,
     ) -> None:
         if not isinstance(max_workers, int) or max_workers < 1:
             raise ValidationError("max_workers must be a positive integer")
@@ -403,6 +459,10 @@ class CampaignRunner:
             raise ValidationError(
                 f"seed_policy must be one of {_SEED_POLICIES}, got {seed_policy!r}"
             )
+        if chunk_size is not None and (
+            not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1
+        ):
+            raise ValidationError("chunk_size must be a positive integer or None")
         self._bist_config = bist_config if bist_config is not None else BistConfig()
         # The nominal ConverterSpec builds the same converter as
         # default_converter but stays reseedable under "per-scenario".
@@ -413,11 +473,19 @@ class CampaignRunner:
         self._seed_policy = seed_policy
         self._progress_callback = progress_callback
         self._store = store
+        self._dedup = bool(dedup)
+        self._chunk_size = chunk_size
 
     @property
     def max_workers(self) -> int:
         """The configured worker count."""
         return self._max_workers
+
+    def _effective_chunk_size(self, num_tasks: int) -> int:
+        """Scenarios per pool future: explicit override or ~4 chunks/worker."""
+        if self._chunk_size is not None:
+            return self._chunk_size
+        return max(1, -(-num_tasks // (self._max_workers * 4)))
 
     def _build_tasks(self, scenarios) -> list[_ScenarioTask]:
         scenarios = tuple(scenarios)
@@ -449,34 +517,142 @@ class CampaignRunner:
             )
         return tasks
 
-    def run(self, scenarios, budget: ExecutionBudget | None = None) -> CampaignExecution:
+    def run(
+        self,
+        scenarios,
+        budget: ExecutionBudget | None = None,
+        compile: bool = False,
+    ) -> CampaignExecution:
         """Execute every scenario; errors are captured, not raised.
 
         Returns a :class:`CampaignExecution` whose outcomes are in submission
         order regardless of the order in which workers finished them.  With a
         campaign store attached, archived scenarios are served as cache hits
         (no execution) and fresh outcomes are flushed to the store as they
-        complete, so an interrupted run resumes incrementally.
+        complete, so an interrupted run resumes incrementally.  Scenarios
+        sharing a fingerprint within the batch execute once and fan out
+        (see the ``dedup`` constructor flag).
 
         ``budget`` charges an :class:`ExecutionBudget` for the scenarios that
-        will actually execute (cache hits are free), raising
-        :class:`~repro.errors.BudgetExhaustedError` before any of them runs
-        when the batch would overrun the cap.
+        will actually execute (cache hits and fingerprint duplicates are
+        free), raising :class:`~repro.errors.BudgetExhaustedError` before any
+        of them runs when the batch would overrun the cap.
+
+        ``compile=True`` routes the batch through the
+        :class:`~repro.bist.compiler.CampaignCompiler`: fingerprint-adjacent
+        scenarios (same effective profile/configuration geometry) execute
+        in-process as stacked kernels sharing reconstruction-plan structures,
+        while heterogeneous remainders fall back to this runner's normal
+        serial/pool path.  Results are bit-identical either way; the
+        returned execution carries the compiler's statistics.
         """
         tasks = self._build_tasks(scenarios)
         cached, pending, fingerprints = self._consult_store(tasks)
+        pending, duplicates = self._dedup_pending(pending, fingerprints)
         if budget is not None and pending:
             if not isinstance(budget, ExecutionBudget):
                 raise ValidationError("budget must be an ExecutionBudget")
             budget.charge(len(pending))
+        compiler_stats = None
+        executed: list[ScenarioOutcome] = []
+        if compile and len(pending) >= 2:
+            from .compiler import CampaignCompiler
+
+            compiler = CampaignCompiler()
+            groups, pending = compiler.group(pending)
+            for group in groups:
+                executed.extend(
+                    compiler.execute_group(
+                        group, on_outcome=lambda o: self._complete(o, fingerprints)
+                    )
+                )
+            compiler_stats = compiler.stats
         if not pending:
-            executed = []
+            pass
         elif self._max_workers == 1 or len(pending) == 1:
-            executed = self._run_serial(pending, fingerprints)
+            executed.extend(self._run_serial(pending, fingerprints))
         else:
-            executed = self._run_parallel(pending, fingerprints)
-        outcomes = sorted(cached + executed, key=lambda outcome: outcome.index)
-        return CampaignExecution(outcomes=tuple(outcomes))
+            executed.extend(self._run_parallel(pending, fingerprints))
+        fanned = self._fan_out_duplicates(executed, duplicates)
+        outcomes = sorted(cached + executed + fanned, key=lambda outcome: outcome.index)
+        return CampaignExecution(outcomes=tuple(outcomes), compiler_stats=compiler_stats)
+
+    def _dedup_pending(self, pending, fingerprints) -> tuple[list, dict]:
+        """Collapse identical-fingerprint pending tasks onto one execution.
+
+        Returns ``(primaries, duplicates)`` where ``duplicates`` maps a
+        primary task's index to the duplicate tasks whose outcomes will be
+        fanned out from it.  Fingerprints already computed by the store
+        consult are reused; without a store they are computed here.  Tasks
+        whose scenario content cannot be fingerprinted run undeduplicated,
+        and a non-declarative converter factory disables dedup for the whole
+        batch (nothing can be fingerprinted safely).
+        """
+        if not self._dedup or len(pending) < 2:
+            return list(pending), {}
+        from ..store.fingerprint import scenario_fingerprint
+
+        primaries: list[_ScenarioTask] = []
+        primary_of: dict[str, int] = {}
+        duplicates: dict[int, list[_ScenarioTask]] = {}
+        for task in pending:
+            fingerprint = fingerprints.get(task.index)
+            if fingerprint is None:
+                try:
+                    fingerprint = scenario_fingerprint(
+                        task.scenario,
+                        bist_config=task.bist_config,
+                        converter_factory=task.converter_factory,
+                        seed=task.seed,
+                    )
+                except ValidationError:
+                    # Invalid scenario content: let the execution path surface
+                    # the per-scenario error outcome, undeduplicated.
+                    primaries.append(task)
+                    continue
+                except ConfigurationError:
+                    # Arbitrary converter factory: fingerprints are
+                    # unavailable, so dedup quietly stands down (the
+                    # historical serial path allowed such factories).
+                    return list(pending), {}
+                fingerprints[task.index] = fingerprint
+            if fingerprint in primary_of:
+                duplicates.setdefault(primary_of[fingerprint], []).append(task)
+            else:
+                primary_of[fingerprint] = task.index
+                primaries.append(task)
+        return primaries, duplicates
+
+    def _fan_out_duplicates(self, executed, duplicates) -> list[ScenarioOutcome]:
+        """Clone each primary outcome onto its duplicate labels.
+
+        Identical fingerprints imply bit-identical execution, so the report
+        (or the error) is shared verbatim; the fan-out costs no wall clock
+        and is not re-archived (the store already holds the fingerprint from
+        the primary's flush).
+        """
+        if not duplicates:
+            return []
+        by_index = {outcome.index: outcome for outcome in executed}
+        fanned = []
+        for primary_index, tasks in duplicates.items():
+            source = by_index.get(primary_index)
+            if source is None:
+                continue
+            for task in tasks:
+                outcome = ScenarioOutcome(
+                    index=task.index,
+                    label=task.label,
+                    report=source.report,
+                    error=source.error,
+                    traceback_text=source.traceback_text,
+                    duration_seconds=0.0,
+                    worker="dedup",
+                    deduplicated=True,
+                )
+                self._notify(outcome)
+                fanned.append(outcome)
+        return fanned
 
     def _consult_store(self, tasks) -> tuple:
         """Split tasks into store-served outcomes and tasks still to run."""
@@ -585,35 +761,47 @@ class CampaignRunner:
         return [outcomes[index] for index in sorted(outcomes)]
 
     def _pool_round(self, tasks, outcomes, fingerprints) -> list:
-        """One process-pool pass; returns tasks lost to worker deaths."""
+        """One process-pool pass; returns tasks lost to worker deaths.
+
+        Tasks are shipped in chunks (see ``chunk_size``) so the pickle/IPC
+        cost of a future is amortised over several scenarios; each chunk's
+        outcomes are completed as the chunk finishes, so progress callbacks
+        and store flushes still fire incrementally.
+        """
         workers = min(self._max_workers, len(tasks))
+        chunk_size = self._effective_chunk_size(len(tasks))
+        chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
         broken = []
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_execute_task, task): task for task in tasks}
+            futures = {pool.submit(_execute_chunk, chunk): chunk for chunk in chunks}
             for future in concurrent.futures.as_completed(futures):
-                task = futures[future]
+                chunk = futures[future]
                 error = future.exception()
                 if error is None:
-                    outcome = future.result()
+                    chunk_outcomes = future.result()
                 elif isinstance(error, BrokenProcessPool):
                     # A worker died and the executor failed every outstanding
                     # future; most of these scenarios never ran, so they get
                     # another pool round instead of a spurious error.
-                    broken.append(task)
+                    broken.extend(chunk)
                     continue
                 else:
-                    # The task itself could not be executed (e.g. it failed
-                    # to unpickle in the worker); synthesise an error outcome.
-                    outcome = ScenarioOutcome(
-                        index=task.index,
-                        label=task.label,
-                        error=f"{type(error).__name__}: {error}",
-                        traceback_text="".join(
-                            traceback.format_exception(type(error), error, error.__traceback__)
-                        ),
-                    )
-                self._complete(outcome, fingerprints)
-                outcomes[outcome.index] = outcome
+                    # The chunk itself could not be executed (e.g. it failed
+                    # to unpickle in the worker); synthesise error outcomes.
+                    chunk_outcomes = [
+                        ScenarioOutcome(
+                            index=task.index,
+                            label=task.label,
+                            error=f"{type(error).__name__}: {error}",
+                            traceback_text="".join(
+                                traceback.format_exception(type(error), error, error.__traceback__)
+                            ),
+                        )
+                        for task in chunk
+                    ]
+                for outcome in chunk_outcomes:
+                    self._complete(outcome, fingerprints)
+                    outcomes[outcome.index] = outcome
         return broken
 
 

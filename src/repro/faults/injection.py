@@ -198,7 +198,7 @@ class FaultCampaign:
     # Execution
     # ------------------------------------------------------------------ #
     def run(
-        self, max_workers: int = 1, progress_callback=None, store=None
+        self, max_workers: int = 1, progress_callback=None, store=None, compile: bool = False
     ) -> "FaultCampaignResult":
         """Execute the whole campaign; errors are captured per scenario.
 
@@ -208,7 +208,9 @@ class FaultCampaign:
         the run resumable: archived fault points are served as cache hits
         and fresh outcomes are flushed as they complete, so an interrupted
         population study picks up where it stopped with an identical
-        dictionary.
+        dictionary.  ``compile=True`` batches fingerprint-adjacent fault
+        points through the :class:`~repro.bist.compiler.CampaignCompiler`
+        (bit-identical results, shared reconstruction-plan structures).
         """
         from ..bist.runner import CampaignRunner
 
@@ -220,7 +222,7 @@ class FaultCampaign:
             progress_callback=progress_callback,
             store=store,
         )
-        execution = runner.run(self.build_scenarios())
+        execution = runner.run(self.build_scenarios(), compile=compile)
         return FaultCampaignResult(
             execution=execution,
             points=self.points,

@@ -21,6 +21,16 @@ taps and a Kaiser window).  This module provides:
   :meth:`ReconstructionPlan.evaluate_many` that adds a leading delay axis and
   amortises the kernel evaluation across candidate delays (the inner loop of
   the Section IV skew calibration);
+* :class:`PlanStructureCache` — shares the *sample-independent* half of a
+  plan (tap geometry, taper, kernel trigonometry — the expensive part)
+  between plans whose acquisition geometry and evaluation grid coincide.
+  Fingerprint-adjacent campaign scenarios (a severity sweep of one fault
+  family) differ only in sample values, so the campaign compiler builds the
+  structure once per group instead of once per scenario;
+* :func:`evaluate_stacked` — the cross-*scenario* analogue of
+  :meth:`~ReconstructionPlan.evaluate_many`: plans sharing one structure
+  evaluate as a single stacked kernel over a leading scenario axis,
+  bit-identical with evaluating each plan on its own;
 * :class:`NonuniformReconstructor` — a thin façade over
   :class:`ReconstructionPlan` keeping the original arbitrary-times API: it
   binds one assumed delay ``D_hat`` and builds (and caches) plans for the
@@ -30,15 +40,24 @@ taps and a Kaiser window).  This module provides:
 * :func:`reference_evaluate` — the direct, pre-plan evaluation of Eq. (6),
   kept verbatim as the numerical oracle for equivalence tests and the
   before/after benchmark baseline.
+
+The per-delay broadcast math runs through the pluggable array backend of
+:mod:`repro.backend` (``xp`` namespace): structures are precomputed on host
+NumPy (Bessel/trig tables, built once per group), the hot multiply-adds and
+einsums then execute on whichever backend was active when the plan was
+built.  Under the default NumPy backend every code path is bit-identical
+with the pre-seam implementation.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..backend import ArrayBackend, active_backend
 from ..errors import ReconstructionError, ValidationError
 from ..signals.passband import AnalogSignal
 from ..utils.validation import check_1d_array, check_integer, check_positive
@@ -56,7 +75,9 @@ __all__ = [
     "NonuniformSampleSet",
     "IdealNonuniformSampler",
     "ReconstructionPlan",
+    "PlanStructureCache",
     "NonuniformReconstructor",
+    "evaluate_stacked",
     "reconstruct",
     "reference_evaluate",
 ]
@@ -213,26 +234,40 @@ class IdealNonuniformSampler:
 #: memory-bandwidth-bound and slower than a per-delay loop.
 _BATCH_ELEMENT_BUDGET = 72_000
 
+#: Upper bound on ``num_scenarios * num_times * num_taps`` elements per
+#: stacked-kernel launch of :func:`evaluate_stacked`.  The scenario axis
+#: batches *dense* grids (one row per scenario of a compiled campaign group),
+#: so the budget trades peak temporary memory against per-launch overhead
+#: rather than cache residency; chunk boundaries do not change results (each
+#: output row is computed independently inside the einsum).
+_STACK_ELEMENT_BUDGET = 4_000_000
+
 #: Sinc arguments smaller than this are evaluated through the Taylor series
 #: ``1 - (pi x)^2 / 6`` instead of the angle-addition quotient, whose absolute
 #: error (~1e-16 / (pi x)) would otherwise grow as the argument shrinks.
 _SINC_SERIES_THRESHOLD = 1.0e-6
 
 
-def _sinc_from_parts(sin_pi_x: np.ndarray, x: np.ndarray) -> np.ndarray:
+def _sinc_from_parts(sin_pi_x, x, xp=np):
     """``sinc(x) = sin(pi x) / (pi x)`` given ``sin(pi x)`` already computed.
 
     The numerator comes from an exact angle-addition expansion, so near the
     removable singularity the quotient is replaced by its Taylor series
-    (accurate to ~1e-24 at the switch-over point).
+    (accurate to ~1e-24 at the switch-over point).  The NumPy branch is the
+    original in-place implementation (kept verbatim for bit-identity); other
+    backends take the functional branch, which computes the same quantity
+    without ``out=`` writes.
     """
-    denominator = np.pi * x
-    small = np.abs(x) < _SINC_SERIES_THRESHOLD
-    out = np.empty_like(denominator)
-    np.divide(sin_pi_x, denominator, out=out, where=~small)
-    if small.any():
-        out[small] = 1.0 - denominator[small] ** 2 / 6.0
-    return out
+    denominator = xp.pi * x
+    small = xp.abs(x) < _SINC_SERIES_THRESHOLD
+    if xp is np:
+        out = np.empty_like(denominator)
+        np.divide(sin_pi_x, denominator, out=out, where=~small)
+        if small.any():
+            out[small] = 1.0 - denominator[small] ** 2 / 6.0
+        return out
+    safe = xp.where(small, 1.0, denominator)
+    return xp.where(small, 1.0 - denominator**2 / 6.0, sin_pi_x / safe)
 
 
 class _KernelTermCache:
@@ -248,8 +283,10 @@ class _KernelTermCache:
     angle-addition identity).  Reconstruction evaluates the term at the two
     argument families ``-v`` (on-grid) and ``v + D`` (delayed channel), where
     ``v = nT - t`` is fixed by the plan.  All trigonometry of ``v`` is
-    computed here once; per candidate delay only scalar sines/cosines of
-    ``D`` remain, broadcast against the cached arrays.
+    computed here once (on host NumPy — it involves Bessel-adjacent table
+    building that runs once per structure); per candidate delay only scalar
+    sines/cosines of ``D`` remain, broadcast against the cached arrays on the
+    structure's array backend.
     """
 
     __slots__ = (
@@ -263,8 +300,10 @@ class _KernelTermCache:
         "sin_env",
         "cos_env",
         "env_argument",
+        "sorted_env",
         "on_grid_cos",
         "on_grid_sin",
+        "xp",
     )
 
     def __init__(
@@ -281,6 +320,7 @@ class _KernelTermCache:
         self.c_osc = np.pi * oscillation_hz
         self.c_env = float(envelope_hz)
         self.c_phi = self.order * np.pi * bandwidth
+        self.xp = np
         oscillation = self.c_osc * v
         self.sin_osc = np.sin(oscillation)
         self.cos_osc = np.cos(oscillation)
@@ -288,6 +328,10 @@ class _KernelTermCache:
         self.sin_env = np.sin(envelope_phase)
         self.cos_env = np.cos(envelope_phase)
         self.env_argument = self.c_env * v
+        # Sorted copy (host-side) so delayed_contribution can detect the rare
+        # near-singular sinc arguments with an O(m log np) interval query
+        # instead of a full-size |argument| scan per delay batch.
+        self.sorted_env = np.sort(self.env_argument, axis=None)
         # On-grid kernel argument is -v: sinc is even, cos(c_osc*(-v)) is
         # cos_osc and sin(c_osc*(-v)) is -sin_osc, so the on-grid term reduces
         # to (on_grid_cos + on_grid_sin * cot(phi)) with these two constants.
@@ -295,27 +339,263 @@ class _KernelTermCache:
         self.on_grid_cos = scaled_envelope * self.cos_osc
         self.on_grid_sin = scaled_envelope * self.sin_osc
 
-    def contributions(self, delay_column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Kernel values at ``-v`` and ``v + D`` for a column of delays.
+    def move_to(self, backend: ArrayBackend) -> None:
+        """Transfer the cached arrays onto ``backend`` (no-op for NumPy)."""
+        if backend.is_numpy:
+            self.xp = np
+            return
+        for name in ("sin_osc", "cos_osc", "sin_env", "cos_env",
+                     "env_argument", "on_grid_cos", "on_grid_sin"):
+            setattr(self, name, backend.asarray(getattr(self, name)))
+        self.xp = backend.xp
 
-        ``delay_column`` has shape ``(m, 1, 1)``; both returned arrays
-        broadcast to ``(m, num_times, num_taps)``.
-        """
+    def cot_phi(self, delay_column):
+        """``cot(order * pi * B * D)`` for a column of delays (same shape)."""
+        xp = self.xp
         phi = self.c_phi * delay_column
-        cot_phi = np.cos(phi) / np.sin(phi)
-        on_grid = self.on_grid_cos + self.on_grid_sin * cot_phi
+        return xp.cos(phi) / xp.sin(phi)
 
+    def delayed_contribution(self, delay_column, cot_phi):
+        """Kernel values at ``v + D`` for a column of delays.
+
+        ``delay_column`` and ``cot_phi`` have shape ``(m, 1, 1)``; the result
+        broadcasts to ``(m, num_times, num_taps)``.  The on-grid channel has
+        no array-sized counterpart here: its delay dependence is the scalar
+        ``cot_phi`` alone, so plans fold it into precomputed dot products
+        (see :attr:`ReconstructionPlan._on_grid_dots`).
+        """
+        xp = self.xp
         alpha = self.c_osc * delay_column
-        sin_alpha = np.sin(alpha)
-        cos_alpha = np.cos(alpha)
-        sin_delayed = self.sin_osc * cos_alpha + self.cos_osc * sin_alpha
-        cos_delayed = self.cos_osc * cos_alpha - self.sin_osc * sin_alpha
+        sin_alpha = xp.sin(alpha)
+        cos_alpha = xp.cos(alpha)
+        # cos(osc + alpha) - sin(osc + alpha) * cot_phi, regrouped so the
+        # delay-only factors combine as (m, 1, 1) scalars before touching the
+        # (num_times, num_taps) tables.
+        on_grid_factor = cos_alpha - cot_phi * sin_alpha
+        quadrature_factor = sin_alpha + cot_phi * cos_alpha
+        gamma = xp.pi * self.c_env * delay_column
+        cos_gamma = xp.cos(gamma)
+        sin_gamma = xp.sin(gamma)
+        if xp is not np:
+            combined = on_grid_factor * self.cos_osc - quadrature_factor * self.sin_osc
+            numerator = self.sin_env * cos_gamma + self.cos_env * sin_gamma
+            envelope = _sinc_from_parts(
+                numerator, self.env_argument + self.c_env * delay_column, xp
+            )
+            return (self.scale * envelope) * combined
+        # NumPy fast path: this is the inner loop of both the LMS search and
+        # the stacked dense renders, so the scalar ``scale`` folds into the
+        # (m, 1, 1) gamma factors and every full-size array after the first
+        # is written in place.
+        combined = on_grid_factor * self.cos_osc
+        combined -= quadrature_factor * self.sin_osc
+        numerator = self.sin_env * (self.scale * cos_gamma)
+        numerator += self.cos_env * (self.scale * sin_gamma)
+        numerator *= combined
+        argument = self.env_argument + self.c_env * delay_column
+        # |env + c_env*D| < threshold <=> env falls inside a +-threshold
+        # interval around -c_env*D; the sorted table answers that for every
+        # delay without scanning the (m, num_times, num_taps) block.  The
+        # closed-interval searchsorted bounds overcount the open condition,
+        # which only means the exact masked path runs when it did not have to.
+        targets = -(self.c_env * delay_column).ravel()
+        lower = np.searchsorted(self.sorted_env, targets - _SINC_SERIES_THRESHOLD, "left")
+        upper = np.searchsorted(self.sorted_env, targets + _SINC_SERIES_THRESHOLD, "right")
+        if np.any(upper > lower):
+            # Rare: a grid point lands within ~1e-6 / c_env of a delayed
+            # sample time, so the quotient is replaced by its Taylor series.
+            small = np.abs(argument) < _SINC_SERIES_THRESHOLD
+            argument *= np.pi
+            taylor = self.scale * (1.0 - argument[small] ** 2 / 6.0) * combined[small]
+            np.divide(numerator, argument, out=numerator, where=~small)
+            numerator[small] = taylor
+        else:
+            argument *= np.pi
+            numerator /= argument
+        return numerator
 
-        gamma = np.pi * self.c_env * delay_column
-        numerator = self.sin_env * np.cos(gamma) + self.cos_env * np.sin(gamma)
-        envelope = _sinc_from_parts(numerator, self.env_argument + self.c_env * delay_column)
-        delayed = (self.scale * envelope) * (cos_delayed - sin_delayed * cot_phi)
-        return on_grid, delayed
+
+class _PlanStructure:
+    """Sample-independent half of a :class:`ReconstructionPlan`.
+
+    Everything here depends only on the acquisition *geometry* (start time,
+    period, record length, band) and the evaluation grid — not on the sample
+    values or the candidate delay: the tap index matrix, the validity-masked
+    taper and the kernel term trigonometry.  Fingerprint-adjacent campaign
+    scenarios share all of it, which is what :class:`PlanStructureCache`
+    exploits.
+    """
+
+    __slots__ = (
+        "times",
+        "num_taps",
+        "window",
+        "kaiser_beta",
+        "clipped",
+        "weight",
+        "terms",
+        "backend",
+        "num_elements",
+    )
+
+    def __init__(
+        self,
+        sample_set: NonuniformSampleSet,
+        times: np.ndarray,
+        num_taps: int,
+        window: str,
+        kaiser_beta: float,
+        backend: ArrayBackend,
+    ) -> None:
+        period = sample_set.sample_period
+        half = num_taps // 2
+        centre_index = np.round((times - sample_set.start_time) / period).astype(np.int64)
+        offsets = np.arange(-half, half + 1)
+        index_matrix = centre_index[:, None] + offsets[None, :]
+        valid = (index_matrix >= 0) & (index_matrix < len(sample_set))
+        clipped = np.clip(index_matrix, 0, len(sample_set) - 1)
+        grid_times = sample_set.start_time + clipped * period
+
+        # v = nT - t: the on-grid kernel argument is -v, the delayed-channel
+        # argument is v + D_hat for any candidate delay D_hat.
+        v = grid_times - times[:, None]
+        taper = evaluate_taper(window, v / (half * period + period), kaiser_beta=kaiser_beta)
+        weight = np.where(valid, taper, 0.0)
+
+        band = sample_set.band
+        k, k_plus = band_order(band)
+        f_low = band.f_low
+        bandwidth = band.bandwidth
+        f_mirror = k * bandwidth - f_low
+        f_high = f_low + bandwidth
+        terms: list[_KernelTermCache] = []
+        if not integer_band_positioning(band):
+            terms.append(
+                _KernelTermCache(
+                    order=k,
+                    scale=k - 2.0 * f_low / bandwidth,
+                    oscillation_hz=f_mirror + f_low,
+                    envelope_hz=f_mirror - f_low,
+                    bandwidth=bandwidth,
+                    v=v,
+                )
+            )
+        terms.append(
+            _KernelTermCache(
+                order=k_plus,
+                scale=2.0 * f_low / bandwidth + 1.0 - k,
+                oscillation_hz=f_high + f_mirror,
+                envelope_hz=f_high - f_mirror,
+                bandwidth=bandwidth,
+                v=v,
+            )
+        )
+
+        self.times = times
+        self.num_taps = num_taps
+        self.window = window
+        self.kaiser_beta = kaiser_beta
+        self.backend = backend
+        self.clipped = backend.asarray(clipped)
+        self.weight = backend.asarray(weight)
+        for term in terms:
+            term.move_to(backend)
+        self.terms = tuple(terms)
+        self.num_elements = int(times.size * (num_taps + 1))
+
+
+def _structure_key(
+    sample_set: NonuniformSampleSet,
+    times: np.ndarray,
+    num_taps: int,
+    window: str,
+    kaiser_beta: float,
+    backend_name: str,
+) -> tuple:
+    """Cache key of the plan structure: acquisition geometry + exact grid.
+
+    The grid enters through a cryptographic digest of its raw bytes, so two
+    grids share a structure only when they are *bitwise* identical — the
+    contract the stacked kernel and the bit-identity gates rely on.
+    """
+    digest = hashlib.blake2b(times.tobytes(), digest_size=16).digest()
+    return (
+        digest,
+        int(times.size),
+        int(num_taps),
+        window,
+        float(kaiser_beta),
+        float(sample_set.sample_period),
+        float(sample_set.start_time),
+        len(sample_set),
+        float(sample_set.band.f_low),
+        float(sample_set.band.bandwidth),
+        backend_name,
+    )
+
+
+class PlanStructureCache:
+    """LRU cache of shared plan structures with hit/miss/eviction counters.
+
+    One cache is typically threaded through every scenario of a compiled
+    campaign group: the first scenario pays for the taper and kernel
+    trigonometry of each grid, the rest reuse them.  Eviction is sized in
+    retained grid *elements* (``num_times * (num_taps + 1)``) rather than
+    entry count because dense measurement grids are orders of magnitude
+    larger than calibration grids; the most recent entry is never evicted,
+    so an oversized dense structure still serves the group being executed.
+    """
+
+    #: Default retained-element budget: roughly two dense single-carrier
+    #: measurement structures (each structure pins ~16 arrays of
+    #: ``num_elements`` values).
+    DEFAULT_MAX_ELEMENTS = 2_000_000
+
+    def __init__(self, max_elements: int = DEFAULT_MAX_ELEMENTS) -> None:
+        self._max_elements = check_integer(max_elements, "max_elements", minimum=1)
+        self._entries: OrderedDict[tuple, _PlanStructure] = OrderedDict()
+        self._total_elements = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def lookup(self, key: tuple) -> _PlanStructure | None:
+        """The cached structure for ``key``, or ``None`` (counts the miss)."""
+        structure = self._entries.get(key)
+        if structure is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return structure
+
+    def store(self, key: tuple, structure: _PlanStructure) -> None:
+        """Insert a freshly built structure, evicting LRU entries over budget."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = structure
+        self._total_elements += structure.num_elements
+        while self._total_elements > self._max_elements and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._total_elements -= evicted.num_elements
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached structure (counters are preserved)."""
+        self._entries.clear()
+        self._total_elements = 0
+
+    @property
+    def stats(self) -> dict:
+        """JSON-friendly counters: hits, misses, evictions, current footprint."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "entries": len(self._entries),
+            "elements": self._total_elements,
+        }
 
 
 class ReconstructionPlan:
@@ -349,6 +629,12 @@ class ReconstructionPlan:
     delay_tolerance:
         Relative closeness to a forbidden delay (Eq. 3) rejected by
         :func:`~repro.sampling.nonuniform.check_delay` during evaluation.
+    structure_cache:
+        Optional :class:`PlanStructureCache`.  When given, the
+        sample-independent half of the plan is looked up there (and stored on
+        a miss), so plans over the same acquisition geometry and grid — e.g.
+        the scenarios of one compiled campaign group — share taper and kernel
+        trigonometry instead of rebuilding them.
     """
 
     def __init__(
@@ -359,6 +645,7 @@ class ReconstructionPlan:
         window: str = "kaiser",
         kaiser_beta: float = 8.0,
         delay_tolerance: float = DEFAULT_DELAY_TOLERANCE,
+        structure_cache: PlanStructureCache | None = None,
     ) -> None:
         if not isinstance(sample_set, NonuniformSampleSet):
             raise ValidationError("sample_set must be a NonuniformSampleSet")
@@ -375,52 +662,38 @@ class ReconstructionPlan:
         self._kaiser_beta = float(kaiser_beta)
         self._delay_tolerance = float(delay_tolerance)
 
-        period = sample_set.sample_period
-        half = num_taps // 2
-        centre_index = np.round((times - sample_set.start_time) / period).astype(np.int64)
-        offsets = np.arange(-half, half + 1)
-        index_matrix = centre_index[:, None] + offsets[None, :]
-        valid = (index_matrix >= 0) & (index_matrix < len(sample_set))
-        clipped = np.clip(index_matrix, 0, len(sample_set) - 1)
-        grid_times = sample_set.start_time + clipped * period
-
-        # v = nT - t: the on-grid kernel argument is -v, the delayed-channel
-        # argument is v + D_hat for any candidate delay D_hat.
-        v = grid_times - times[:, None]
-        taper = evaluate_taper(
-            self._window, v / (half * period + period), kaiser_beta=self._kaiser_beta
-        )
-        weight = np.where(valid, taper, 0.0)
-        self._weighted_on_grid = sample_set.on_grid[clipped] * weight
-        self._weighted_delayed = sample_set.delayed[clipped] * weight
-
-        band = sample_set.band
-        k, k_plus = band_order(band)
-        f_low = band.f_low
-        bandwidth = band.bandwidth
-        f_mirror = k * bandwidth - f_low
-        f_high = f_low + bandwidth
-        self._terms: list[_KernelTermCache] = []
-        if not integer_band_positioning(band):
-            self._terms.append(
-                _KernelTermCache(
-                    order=k,
-                    scale=k - 2.0 * f_low / bandwidth,
-                    oscillation_hz=f_mirror + f_low,
-                    envelope_hz=f_mirror - f_low,
-                    bandwidth=bandwidth,
-                    v=v,
-                )
+        backend = active_backend()
+        structure = None
+        if structure_cache is not None:
+            if not isinstance(structure_cache, PlanStructureCache):
+                raise ValidationError("structure_cache must be a PlanStructureCache")
+            key = _structure_key(
+                sample_set, times, num_taps, self._window, self._kaiser_beta, backend.name
             )
-        self._terms.append(
-            _KernelTermCache(
-                order=k_plus,
-                scale=2.0 * f_low / bandwidth + 1.0 - k,
-                oscillation_hz=f_high + f_mirror,
-                envelope_hz=f_high - f_mirror,
-                bandwidth=bandwidth,
-                v=v,
+            structure = structure_cache.lookup(key)
+        if structure is None:
+            structure = _PlanStructure(
+                sample_set, times, num_taps, self._window, self._kaiser_beta, backend
             )
+            if structure_cache is not None:
+                structure_cache.store(key, structure)
+        self._structure = structure
+        self._backend = structure.backend
+        xp = self._backend.xp
+        samples_on_grid = self._backend.asarray(sample_set.on_grid)
+        samples_delayed = self._backend.asarray(sample_set.delayed)
+        weighted_on_grid = samples_on_grid[structure.clipped] * structure.weight
+        self._weighted_delayed = samples_delayed[structure.clipped] * structure.weight
+        # The on-grid channel's only delay dependence is the scalar cot_phi
+        # of each term, so its tap contraction folds into two delay-free dot
+        # products per term; evaluating a candidate then reduces the channel
+        # to (num_times,)-sized work instead of (num_times, num_taps).
+        self._on_grid_dots = tuple(
+            (
+                xp.einsum("np,np->n", weighted_on_grid, term.on_grid_cos),
+                xp.einsum("np,np->n", weighted_on_grid, term.on_grid_sin),
+            )
+            for term in structure.terms
         )
 
     # ------------------------------------------------------------------ #
@@ -450,6 +723,21 @@ class ReconstructionPlan:
     def kaiser_beta(self) -> float:
         """Kaiser shape parameter of the taper."""
         return self._kaiser_beta
+
+    @property
+    def structure(self) -> _PlanStructure:
+        """The (possibly shared) sample-independent half of this plan.
+
+        Plans returning the *same object* here can evaluate together through
+        :func:`evaluate_stacked`; the campaign compiler groups scenarios by
+        exactly this identity.
+        """
+        return self._structure
+
+    @property
+    def backend(self) -> ArrayBackend:
+        """The array backend the plan's kernels execute on."""
+        return self._backend
 
     def valid_time_range(self, assumed_delay: float | None = None) -> tuple[float, float]:
         """Interval over which the truncated sum has full kernel support."""
@@ -494,24 +782,113 @@ class ReconstructionPlan:
 
     def _evaluate_batch(self, delays: np.ndarray) -> np.ndarray:
         """Core batched evaluation over a validated chunk of delays."""
-        delay_column = delays.reshape(-1, 1, 1)
-        on_grid_total: np.ndarray | None = None
-        delayed_total: np.ndarray | None = None
-        for term in self._terms:
-            on_grid, delayed = term.contributions(delay_column)
+        xp = self._backend.xp
+        delay_column = self._backend.asarray(delays).reshape(-1, 1, 1)
+        on_grid_total = None
+        delayed_total = None
+        for term, (dot_cos, dot_sin) in zip(self._structure.terms, self._on_grid_dots):
+            cot_phi = term.cot_phi(delay_column)
+            on_grid = dot_cos + cot_phi[:, :, 0] * dot_sin
+            delayed = term.delayed_contribution(delay_column, cot_phi)
             if on_grid_total is None:
                 on_grid_total, delayed_total = on_grid, delayed
             else:
                 on_grid_total += on_grid
                 delayed_total += delayed
-        return np.einsum("np,mnp->mn", self._weighted_on_grid, on_grid_total) + np.einsum(
-            "np,mnp->mn", self._weighted_delayed, delayed_total
-        )
+        result = on_grid_total + xp.einsum("np,mnp->mn", self._weighted_delayed, delayed_total)
+        return self._backend.to_numpy(result)
 
     def _validate_delay(self, delay: float) -> float:
         """Reject delays Eq. (3) forbids, mirroring the direct evaluator."""
         delay = check_positive(delay, "assumed_delay")
         return check_delay(self._samples.band, delay, tolerance=self._delay_tolerance)
+
+
+def evaluate_stacked(plans, assumed_delays, validate: bool = True) -> np.ndarray:
+    """Evaluate many plans — one delay each — as stacked kernels.
+
+    This is the cross-*scenario* analogue of
+    :meth:`ReconstructionPlan.evaluate_many`: where ``evaluate_many`` adds a
+    leading *delay* axis over one plan, this adds a leading *scenario* axis
+    over many plans.  Plans sharing one :class:`_PlanStructure` (built
+    through the same :class:`PlanStructureCache` over bitwise-identical
+    grids) evaluate through a single ``einsum("snp,snp->sn")`` launch per
+    chunk; plans with differing structures fall back to the per-plan path.
+    Both paths are bit-identical with calling ``plan.evaluate(delay)`` on
+    each plan individually.
+
+    Parameters
+    ----------
+    plans:
+        Sequence of :class:`ReconstructionPlan`, all over grids of the same
+        length (the compiled-campaign contract: one scenario per plan).
+    assumed_delays:
+        One assumed delay per plan.
+    validate:
+        Whether to validate every delay against Eq. (3); pass ``False`` when
+        the delays were validated upstream (e.g. at reconstructor
+        construction), matching :meth:`NonuniformReconstructor.evaluate`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(num_plans, num_times)``; row ``i`` equals
+        ``plans[i].evaluate(assumed_delays[i])`` bit-for-bit.
+    """
+    plans = list(plans)
+    if not plans:
+        raise ValidationError("evaluate_stacked needs at least one plan")
+    for plan in plans:
+        if not isinstance(plan, ReconstructionPlan):
+            raise ValidationError("all stacked entries must be ReconstructionPlan instances")
+    delays = np.atleast_1d(np.asarray(assumed_delays, dtype=float))
+    if delays.ndim != 1 or delays.size != len(plans):
+        raise ValidationError("assumed_delays must provide exactly one delay per plan")
+    num_times = plans[0].evaluation_times.size
+    for plan in plans[1:]:
+        if plan.evaluation_times.size != num_times:
+            raise ValidationError(
+                "stacked plans must share one evaluation-time grid length; "
+                "group scenarios by their exact grid before stacking"
+            )
+    if validate:
+        for plan, delay in zip(plans, delays):
+            plan._validate_delay(delay)
+
+    out = np.empty((len(plans), num_times))
+    structure = plans[0]._structure
+    if any(plan._structure is not structure for plan in plans):
+        for index, plan in enumerate(plans):
+            out[index] = plan._evaluate_batch(delays[index : index + 1])[0]
+        return out
+
+    backend = structure.backend
+    xp = backend.xp
+    per_row = max(1, num_times * (structure.num_taps + 1))
+    chunk = max(1, _STACK_ELEMENT_BUDGET // per_row)
+    for start in range(0, len(plans), chunk):
+        rows = plans[start : start + chunk]
+        if len(rows) == 1:
+            out[start] = rows[0]._evaluate_batch(delays[start : start + 1])[0]
+            continue
+        weighted_delayed = xp.stack([plan._weighted_delayed for plan in rows])
+        delay_column = backend.asarray(delays[start : start + len(rows)]).reshape(-1, 1, 1)
+        on_grid_total = None
+        delayed_total = None
+        for index, term in enumerate(structure.terms):
+            cot_phi = term.cot_phi(delay_column)
+            dot_cos = xp.stack([plan._on_grid_dots[index][0] for plan in rows])
+            dot_sin = xp.stack([plan._on_grid_dots[index][1] for plan in rows])
+            on_grid = dot_cos + cot_phi[:, :, 0] * dot_sin
+            delayed = term.delayed_contribution(delay_column, cot_phi)
+            if on_grid_total is None:
+                on_grid_total, delayed_total = on_grid, delayed
+            else:
+                on_grid_total += on_grid
+                delayed_total += delayed
+        block = on_grid_total + xp.einsum("snp,snp->sn", weighted_delayed, delayed_total)
+        out[start : start + len(rows)] = backend.to_numpy(block)
+    return out
 
 
 class NonuniformReconstructor:
@@ -542,6 +919,11 @@ class NonuniformReconstructor:
         ``"rectangular"``).
     kaiser_beta:
         Kaiser shape parameter when ``window == "kaiser"``.
+    structure_cache:
+        Optional :class:`PlanStructureCache` threaded into every plan this
+        reconstructor builds — including the throwaway plans of dense
+        grids, which is where fingerprint-adjacent scenarios share the
+        expensive taper/trigonometry work.
     """
 
     #: Number of distinct time grids whose plans are kept alive per instance.
@@ -561,9 +943,12 @@ class NonuniformReconstructor:
         num_taps: int = 60,
         window: str = "kaiser",
         kaiser_beta: float = 8.0,
+        structure_cache: PlanStructureCache | None = None,
     ) -> None:
         if not isinstance(sample_set, NonuniformSampleSet):
             raise ValidationError("sample_set must be a NonuniformSampleSet")
+        if structure_cache is not None and not isinstance(structure_cache, PlanStructureCache):
+            raise ValidationError("structure_cache must be a PlanStructureCache")
         self._samples = sample_set
         self._assumed_delay = (
             sample_set.delay if assumed_delay is None else check_positive(assumed_delay, "assumed_delay")
@@ -575,6 +960,11 @@ class NonuniformReconstructor:
         self._kaiser_beta = float(kaiser_beta)
         self._kernel = KohlenbergKernel(sample_set.band, self._assumed_delay)
         self._plans: OrderedDict[bytes, ReconstructionPlan] = OrderedDict()
+        self._structure_cache = structure_cache
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+        self._plan_cache_evictions = 0
+        self._plan_cache_bypasses = 0
 
     @property
     def assumed_delay(self) -> float:
@@ -596,6 +986,27 @@ class NonuniformReconstructor:
         """Name of the reconstruction taper."""
         return self._window
 
+    @property
+    def structure_cache(self) -> PlanStructureCache | None:
+        """The shared structure cache threaded into this reconstructor's plans."""
+        return self._structure_cache
+
+    @property
+    def plan_cache_stats(self) -> dict:
+        """Counters of the per-instance plan cache (JSON-friendly).
+
+        ``hits``/``misses`` count lookups of cached small grids,
+        ``evictions`` counts LRU drops, ``bypasses`` counts dense grids
+        that were deliberately served through throwaway plans.
+        """
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "evictions": self._plan_cache_evictions,
+            "bypasses": self._plan_cache_bypasses,
+            "entries": len(self._plans),
+        }
+
     def valid_time_range(self) -> tuple[float, float]:
         """Time interval over which the truncated sum has full support.
 
@@ -613,32 +1024,40 @@ class NonuniformReconstructor:
 
         Small grids (the repeatedly-swept calibration instants) are cached;
         large one-shot grids (dense measurement renders) get a throwaway plan
-        so their sizeable trig caches are released after use.
+        so their sizeable trig caches are released after use — though with a
+        :class:`PlanStructureCache` attached even throwaway plans share the
+        expensive structure across scenarios.
         """
         times = np.atleast_1d(np.asarray(times, dtype=float))
         if times.size * (self._num_taps + 1) > self._PLAN_CACHE_MAX_ELEMENTS:
             # Too large to cache — skip the key serialisation entirely.
+            self._plan_cache_bypasses += 1
             return ReconstructionPlan(
                 self._samples,
                 times,
                 num_taps=self._num_taps,
                 window=self._window,
                 kaiser_beta=self._kaiser_beta,
+                structure_cache=self._structure_cache,
             )
         key = times.tobytes()
         plan = self._plans.get(key)
         if plan is None:
+            self._plan_cache_misses += 1
             plan = ReconstructionPlan(
                 self._samples,
                 times,
                 num_taps=self._num_taps,
                 window=self._window,
                 kaiser_beta=self._kaiser_beta,
+                structure_cache=self._structure_cache,
             )
             self._plans[key] = plan
             if len(self._plans) > self._PLAN_CACHE_SIZE:
                 self._plans.popitem(last=False)
+                self._plan_cache_evictions += 1
         else:
+            self._plan_cache_hits += 1
             self._plans.move_to_end(key)
         return plan
 

@@ -304,7 +304,12 @@ class TestRunnerExecution:
             CampaignScenario(profile="paper-qpsk-1ghz", label=label)
             for label in ("a", "victim", "b")
         ]
-        execution = CampaignRunner(bist_config=FAST_CONFIG, max_workers=2).run(scenarios)
+        # dedup=False: the three scenarios are content-identical, and the
+        # fingerprint fan-out would otherwise execute only one of them —
+        # this test needs "victim" to actually reach a worker.
+        execution = CampaignRunner(bist_config=FAST_CONFIG, max_workers=2, dedup=False).run(
+            scenarios
+        )
         assert os.path.exists(_crash_flag_path), "the crash never happened"
         assert execution.errors == []
         assert [outcome.label for outcome in execution.outcomes] == ["a", "victim", "b"]

@@ -1,0 +1,99 @@
+"""Array-backend seam: registry, identity guarantees, scoped switching."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    NUMPY_BACKEND,
+    ArrayBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_get_backend_by_name_and_instance(self):
+        assert get_backend("numpy") is NUMPY_BACKEND
+        assert get_backend("NumPy") is NUMPY_BACKEND
+        assert get_backend(NUMPY_BACKEND) is NUMPY_BACKEND
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="known backends"):
+            get_backend("tensorflow")
+        with pytest.raises(ValidationError):
+            get_backend(42)
+
+    def test_uninstalled_optional_backend_raises_configuration_error(self):
+        # CuPy/JAX are optional; whichever is absent must fail actionably.
+        from repro.backend import _OPTIONAL_BACKENDS
+        from repro.errors import ConfigurationError
+
+        missing = [name for name in _OPTIONAL_BACKENDS if name not in available_backends()]
+        for name in missing:
+            with pytest.raises(ConfigurationError, match="not installed"):
+                get_backend(name)
+
+
+class TestNumpyIdentity:
+    def test_asarray_is_identity_for_numpy_arrays(self):
+        array = np.arange(5.0)
+        assert NUMPY_BACKEND.asarray(array) is array
+        assert NUMPY_BACKEND.is_numpy
+
+    def test_to_numpy_is_identity_for_numpy_arrays(self):
+        array = np.arange(5.0)
+        assert NUMPY_BACKEND.to_numpy(array) is array
+
+    def test_to_numpy_handles_get_exposing_arrays(self):
+        # CuPy-style arrays expose .get() for the device-to-host copy.
+        class FakeDeviceArray:
+            def __init__(self, values):
+                self._values = values
+
+            def get(self):
+                return self._values
+
+        fake_backend = ArrayBackend(name="fake", xp=object())
+        values = np.arange(3.0)
+        assert np.array_equal(fake_backend.to_numpy(FakeDeviceArray(values)), values)
+
+
+class TestActiveBackend:
+    def test_default_is_numpy(self):
+        assert active_backend() is NUMPY_BACKEND
+
+    def test_set_backend_round_trip(self):
+        previous = active_backend()
+        try:
+            resolved = set_backend("numpy")
+            assert resolved is NUMPY_BACKEND
+            assert active_backend() is NUMPY_BACKEND
+        finally:
+            set_backend(previous)
+
+    def test_use_backend_scopes_the_switch(self):
+        before = active_backend()
+        with use_backend("numpy") as backend:
+            assert backend is NUMPY_BACKEND
+            assert active_backend() is NUMPY_BACKEND
+        assert active_backend() is before
+
+    def test_use_backend_restores_on_error(self):
+        before = active_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert active_backend() is before
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.active_backend() is repro.get_backend("numpy")
+        assert "use_backend" in repro.__all__
