@@ -1,0 +1,170 @@
+"""Extension experiment: distributed BIST-service scaling and warm-cache replay.
+
+The service coordinator partitions a scenario grid over worker processes,
+each writing its own store shard; the merged result must be bit-identical
+to a serial run of the same grid.  This benchmark measures and hard-gates
+the properties the service exists for:
+
+* **bit-identity** — merged 4-worker reports equal the serial reference,
+  byte for byte (always asserted);
+* **cache-cold scaling** — wall-clock speedup of 4 workers over serial on
+  an empty store.  The >= 2x gate is only armed on hosts with at least
+  4 CPUs (a single-core container documents overhead instead);
+* **warm replay** — resubmitting the same grid against the populated store
+  must hit the cache for >= 95% of scenarios and execute nothing.
+
+Run with:  PYTHONPATH=../src python bench_service.py [--smoke]
+``--output bench.json`` writes the timing numbers and service stats as JSON.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bist import (
+    BistConfig,
+    CampaignRunner,
+    ScenarioGrid,
+    iq_imbalance_sweep,
+    pa_saturation_sweep,
+    skew_sweep,
+)
+from repro.service import Coordinator
+from repro.transmitter import ImpairmentConfig
+
+#: Armed speedup gate: 4 cache-cold workers must halve serial wall clock.
+MIN_COLD_SCALING = 2.0
+#: Warm resubmissions must serve >= this fraction of scenarios from cache.
+MIN_WARM_HIT_RATE = 0.95
+NUM_WORKERS = 4
+
+
+def build_scenarios(smoke: bool):
+    grid = (
+        ScenarioGrid()
+        .add_profiles("paper-qpsk-1ghz", "uhf-8psk-400mhz")
+        .add_impairment("nominal", ImpairmentConfig())
+        .add_impairments(pa_saturation_sweep([0.75, 1.0]))
+        .add_impairments(iq_imbalance_sweep([(2.5, 15.0)]))
+    )
+    if not smoke:
+        grid = grid.add_converters(skew_sweep([0.0, 2e-12]))
+    return grid.build()
+
+
+def build_config(smoke: bool) -> BistConfig:
+    if smoke:
+        return BistConfig(
+            num_samples_fast=128,
+            num_samples_slow=64,
+            lms_max_iterations=25,
+            num_cost_points=60,
+            measure_evm_enabled=False,
+        )
+    return BistConfig(num_samples_fast=256, num_samples_slow=128, measure_evm_enabled=False)
+
+
+def report_dicts(outcomes) -> list:
+    return [
+        (outcome.label, None if outcome.report is None else outcome.report.to_dict())
+        for outcome in outcomes
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced sizes for CI")
+    parser.add_argument("--output", default=None, help="write results JSON here")
+    args = parser.parse_args()
+
+    scenarios = build_scenarios(args.smoke)
+    config = build_config(args.smoke)
+    cpu_count = os.cpu_count() or 1
+    gate_armed = cpu_count >= NUM_WORKERS
+    root = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        print(f"BIST service benchmark ({'smoke' if args.smoke else 'full'} mode)")
+        print(f"  scenarios: {len(scenarios)}, host CPUs: {cpu_count}, workers: {NUM_WORKERS}")
+
+        start = time.perf_counter()
+        serial = CampaignRunner(bist_config=config, seed_policy="per-scenario").run(
+            scenarios
+        )
+        serial_seconds = time.perf_counter() - start
+        print(f"  serial reference: {serial_seconds:.2f} s")
+
+        coordinator = Coordinator(
+            root / "store",
+            num_workers=NUM_WORKERS,
+            bist_config=config,
+            seed_policy="per-scenario",
+        )
+        start = time.perf_counter()
+        cold = coordinator.run(scenarios)
+        cold_seconds = time.perf_counter() - start
+        assert report_dicts(cold.execution.outcomes) == report_dicts(serial.outcomes), (
+            "merged service reports must be bit-identical to the serial reference"
+        )
+        assert cold.stats.executed == len(scenarios) - cold.stats.deduplicated
+        scaling = serial_seconds / cold_seconds
+        print(
+            f"  cold service run: {cold_seconds:.2f} s over "
+            f"{cold.stats.num_partitions} partition(s) -> {scaling:.2f}x vs serial "
+            f"(gate {'armed' if gate_armed else 'advisory: < 4 CPUs'})"
+        )
+        if gate_armed:
+            assert scaling >= MIN_COLD_SCALING, (
+                f"cache-cold scaling {scaling:.2f}x < {MIN_COLD_SCALING}x "
+                f"at {NUM_WORKERS} workers"
+            )
+
+        warm_coordinator = Coordinator(
+            root / "store",
+            num_workers=NUM_WORKERS,
+            bist_config=config,
+            seed_policy="per-scenario",
+        )
+        start = time.perf_counter()
+        warm = warm_coordinator.run(scenarios)
+        warm_seconds = time.perf_counter() - start
+        assert report_dicts(warm.execution.outcomes) == report_dicts(serial.outcomes), (
+            "warm replay must reproduce the serial reference bit-identically"
+        )
+        assert warm.stats.warm_hit_rate >= MIN_WARM_HIT_RATE, (
+            f"warm hit rate {warm.stats.warm_hit_rate:.2f} < {MIN_WARM_HIT_RATE}"
+        )
+        assert warm.stats.executed == 0, "warm replay must execute nothing"
+        print(
+            f"  warm replay: {warm_seconds:.3f} s, "
+            f"hit rate {warm.stats.warm_hit_rate * 100.0:.1f}%, "
+            f"0 executed -> {serial_seconds / warm_seconds:.0f}x vs serial"
+        )
+
+        results = {
+            "mode": "smoke" if args.smoke else "full",
+            "num_scenarios": len(scenarios),
+            "num_workers": NUM_WORKERS,
+            "host_cpus": cpu_count,
+            "scaling_gate_armed": gate_armed,
+            "serial_seconds": serial_seconds,
+            "cold_seconds": cold_seconds,
+            "cold_scaling": scaling,
+            "warm_seconds": warm_seconds,
+            "warm_hit_rate": warm.stats.warm_hit_rate,
+            "cold_stats": cold.stats.to_dict(),
+            "warm_stats": warm.stats.to_dict(),
+        }
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(results, handle, indent=2)
+            print(f"  results written to {args.output}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

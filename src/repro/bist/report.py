@@ -328,6 +328,70 @@ class ProfileSummary:
         return self.num_passed / self.num_scenarios
 
 
+def _store_section(summary: "CampaignSummary") -> str | None:
+    """Cache/dedup counters of a store-backed campaign."""
+    if not (summary.cache_hits or summary.deduplicated):
+        return None
+    dedup = f"{summary.deduplicated} deduplicated, " if summary.deduplicated else ""
+    return (
+        f"campaign store: {summary.cache_hits} cache hit(s), "
+        f"{dedup}{summary.cache_misses} executed"
+    )
+
+
+def _compiler_section(summary: "CampaignSummary") -> str | None:
+    """Batching statistics of a ``compile=True`` campaign."""
+    if summary.compiler is None:
+        return None
+    cache = summary.compiler.get("structure_cache") or {}
+    return (
+        f"campaign compiler: {summary.compiler.get('groups_formed', 0)} group(s), "
+        f"{summary.compiler.get('scenarios_batched', 0)} batched, "
+        f"{summary.compiler.get('scenarios_pooled', 0)} pooled "
+        f"(structure cache: {cache.get('hits', 0)} hit(s), "
+        f"{cache.get('misses', 0)} miss(es))"
+    )
+
+
+def _adaptive_section(summary: "CampaignSummary") -> str | None:
+    """Grid-equivalent efficiency of an adaptive threshold campaign."""
+    if summary.scenarios_saved_vs_grid is None:
+        return None
+    return (
+        f"adaptive efficiency: {summary.scenarios_saved_vs_grid:.1f}x fewer "
+        "scenarios than the exhaustive grid"
+    )
+
+
+def _service_section(summary: "CampaignSummary") -> str | None:
+    """Queue/worker statistics of a campaign run through the BIST service."""
+    if summary.service is None:
+        return None
+    stats = summary.service
+    return (
+        f"campaign service: {stats.get('num_workers', 0)} worker(s), "
+        f"{stats.get('num_partitions', 0)} partition(s), "
+        f"{stats.get('retries', 0)} retry(ies); "
+        f"queue latency {stats.get('queue_latency_seconds', 0.0):.3f} s, "
+        f"execution {stats.get('execution_seconds', 0.0):.2f} s; "
+        f"warm-cache hit rate {stats.get('warm_hit_rate', 0.0) * 100.0:.1f}%"
+    )
+
+
+#: Optional summary sections, rendered in this order between the headline
+#: and the per-profile table.  Each renderer returns its line, or ``None``
+#: when the campaign did not exercise that subsystem — adding a metric
+#: source (store, compiler, adaptive planner, service queue, ...) means
+#: appending one renderer here instead of growing ``to_text`` another
+#: ad-hoc branch.
+_SUMMARY_SECTIONS = (
+    _store_section,
+    _compiler_section,
+    _adaptive_section,
+    _service_section,
+)
+
+
 @dataclass(frozen=True)
 class CampaignSummary:
     """Aggregate statistics of a campaign: pass rates, margins, skew errors.
@@ -360,6 +424,11 @@ class CampaignSummary:
     #: Adaptive-campaign efficiency: how many exhaustive-grid scenarios each
     #: executed scenario replaced (``None`` for non-adaptive campaigns).
     scenarios_saved_vs_grid: float | None = None
+    #: Service-execution statistics (``ServiceStats.to_dict()``) when the
+    #: campaign ran through the distributed BIST service (queue latency,
+    #: warm-cache hit-rate, per-worker throughput, retries); ``None`` for
+    #: in-process campaigns.
+    service: dict | None = None
 
     @classmethod
     def from_entries(
@@ -371,6 +440,7 @@ class CampaignSummary:
         deduplicated: int = 0,
         compiler_stats: dict | None = None,
         scenarios_saved_vs_grid: float | None = None,
+        service: dict | None = None,
     ) -> "CampaignSummary":
         """Aggregate ``(label, report)`` pairs and ``(label, error)`` pairs."""
         entries = list(entries)
@@ -433,6 +503,7 @@ class CampaignSummary:
             scenarios_saved_vs_grid=(
                 None if scenarios_saved_vs_grid is None else float(scenarios_saved_vs_grid)
             ),
+            service=(None if service is None else dict(service)),
         )
 
     @property
@@ -460,26 +531,10 @@ class CampaignSummary:
                 f"{self.num_errors} errored (pass rate {self.pass_rate * 100.0:.1f}%)"
             )
         ]
-        if self.cache_hits or self.deduplicated:
-            dedup = f"{self.deduplicated} deduplicated, " if self.deduplicated else ""
-            lines.append(
-                f"campaign store: {self.cache_hits} cache hit(s), "
-                f"{dedup}{self.cache_misses} executed"
-            )
-        if self.compiler is not None:
-            cache = self.compiler.get("structure_cache") or {}
-            lines.append(
-                f"campaign compiler: {self.compiler.get('groups_formed', 0)} group(s), "
-                f"{self.compiler.get('scenarios_batched', 0)} batched, "
-                f"{self.compiler.get('scenarios_pooled', 0)} pooled "
-                f"(structure cache: {cache.get('hits', 0)} hit(s), "
-                f"{cache.get('misses', 0)} miss(es))"
-            )
-        if self.scenarios_saved_vs_grid is not None:
-            lines.append(
-                f"adaptive efficiency: {self.scenarios_saved_vs_grid:.1f}x fewer "
-                "scenarios than the exhaustive grid"
-            )
+        for render_section in _SUMMARY_SECTIONS:
+            section = render_section(self)
+            if section is not None:
+                lines.append(section)
         header = (
             f"{'profile':<24} {'n':>3} {'pass':>4} {'rate%':>6} "
             f"{'ACPR dB':>8} {'OBW MHz':>8} {'EVM %':>6} {'mask dB':>8} {'skew ps':>8}"
@@ -518,6 +573,7 @@ class CampaignSummary:
             "deduplicated": self.deduplicated,
             "compiler": self.compiler,
             "scenarios_saved_vs_grid": self.scenarios_saved_vs_grid,
+            "service": self.service,
             "mean_skew_error_ps": self.mean_skew_error_ps,
             "max_skew_error_ps": self.max_skew_error_ps,
             "profiles": {

@@ -487,12 +487,26 @@ class CampaignRunner:
             return self._chunk_size
         return max(1, -(-num_tasks // (self._max_workers * 4)))
 
-    def _build_tasks(self, scenarios) -> list[_ScenarioTask]:
+    def _build_tasks(self, scenarios, indices=None) -> list[_ScenarioTask]:
         scenarios = tuple(scenarios)
         if not scenarios:
             raise ValidationError("a campaign needs at least one scenario")
+        if indices is None:
+            indices = range(len(scenarios))
+        else:
+            indices = tuple(indices)
+            if len(indices) != len(scenarios):
+                raise ValidationError(
+                    f"indices must match the scenario count: got {len(indices)} "
+                    f"indices for {len(scenarios)} scenario(s)"
+                )
+            if any(not isinstance(index, int) or isinstance(index, bool) or index < 0
+                   for index in indices):
+                raise ValidationError("indices must be non-negative integers")
+            if len(set(indices)) != len(indices):
+                raise ValidationError("indices must be unique")
         tasks = []
-        for index, scenario in enumerate(scenarios):
+        for index, scenario in zip(indices, scenarios):
             if not isinstance(scenario, CampaignScenario):
                 raise ValidationError("all scenarios must be CampaignScenario instances")
             try:
@@ -522,6 +536,7 @@ class CampaignRunner:
         scenarios,
         budget: ExecutionBudget | None = None,
         compile: bool = False,
+        indices=None,
     ) -> CampaignExecution:
         """Execute every scenario; errors are captured, not raised.
 
@@ -545,8 +560,16 @@ class CampaignRunner:
         while heterogeneous remainders fall back to this runner's normal
         serial/pool path.  Results are bit-identical either way; the
         returned execution carries the compiler's statistics.
+
+        ``indices`` (when given) assigns each scenario its position in a
+        larger submission — outcomes carry those indices and the
+        ``per-scenario`` seed policy derives seeds from them, so a
+        *partition* of a grid executed remotely (see
+        :mod:`repro.service`) produces outcomes bit-identical to the same
+        scenarios executed inside the full grid.  Defaults to
+        ``0..len(scenarios)-1`` (the historical behaviour).
         """
-        tasks = self._build_tasks(scenarios)
+        tasks = self._build_tasks(scenarios, indices=indices)
         cached, pending, fingerprints = self._consult_store(tasks)
         pending, duplicates = self._dedup_pending(pending, fingerprints)
         if budget is not None and pending:

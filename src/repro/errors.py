@@ -24,6 +24,8 @@ __all__ = [
     "MaskError",
     "CampaignExecutionError",
     "BudgetExhaustedError",
+    "ServiceError",
+    "JobNotFoundError",
 ]
 
 
@@ -96,3 +98,16 @@ class BudgetExhaustedError(ReproError):
     over-budget batch executes, so everything already completed has been
     flushed to the campaign store and the interrupted run can be resumed
     (cache hits are free and do not consume budget)."""
+
+
+class ServiceError(ReproError):
+    """Base class for BIST-service failures (queue, coordinator, protocol).
+
+    Raised for requests the service cannot honour — submitting to a
+    draining queue, fetching the result of a job that has not finished —
+    as opposed to scenario-level failures, which are reported as error
+    outcomes inside a job's merged campaign result."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job id does not exist in the service's queue."""

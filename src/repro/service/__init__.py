@@ -1,0 +1,53 @@
+"""Distributed BIST-as-a-service on top of the campaign store.
+
+The batch layers (:mod:`repro.bist`, :mod:`repro.store`) execute campaigns
+in one process tree against one store.  This package turns them into a
+long-running service:
+
+* :mod:`~repro.service.spec` — :class:`CampaignSpec`, the JSON-portable
+  campaign description clients submit;
+* :mod:`~repro.service.partition` — store-aware planning into balanced,
+  fingerprint-adjacent :class:`WorkPartition` units;
+* :mod:`~repro.service.worker` — the per-partition worker process (own
+  store shard, heartbeats, streamed outcomes);
+* :mod:`~repro.service.coordinator` — dispatch, supervision (retry with
+  backoff on worker death), bit-identical merge, budget accounting;
+* :mod:`~repro.service.queue` / :mod:`~repro.service.server` /
+  :mod:`~repro.service.client` — the asyncio job queue, the JSON-over-HTTP
+  front end and its blocking client;
+* :mod:`~repro.service.lifecycle` — shard compaction, retention GC and
+  schema tombstones;
+* :mod:`~repro.service.stats` — queue-latency / hit-rate / throughput
+  metrics carried into every campaign summary.
+
+``python -m repro.service --help`` lists the CLI verbs (serve, run,
+submit, status, result, jobs, drain, compact, gc).
+"""
+
+from __future__ import annotations
+
+from .coordinator import Coordinator, ServiceExecution, with_queue_latency
+from .lifecycle import GcPolicy, GcReport, compact_store, load_tombstones, run_gc
+from .partition import PartitionPlan, WorkPartition, plan_partitions
+from .queue import Job, JobQueue
+from .spec import CampaignSpec
+from .stats import ServiceStats, WorkerStats
+
+__all__ = [
+    "CampaignSpec",
+    "Coordinator",
+    "ServiceExecution",
+    "with_queue_latency",
+    "Job",
+    "JobQueue",
+    "GcPolicy",
+    "GcReport",
+    "run_gc",
+    "compact_store",
+    "load_tombstones",
+    "PartitionPlan",
+    "WorkPartition",
+    "plan_partitions",
+    "ServiceStats",
+    "WorkerStats",
+]

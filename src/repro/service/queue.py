@@ -1,0 +1,272 @@
+"""The asynchronous job queue: submitted specs → coordinator runs → results.
+
+:class:`JobQueue` is the long-lived heart of the BIST service.  It accepts
+:class:`~repro.service.spec.CampaignSpec` submissions, assigns job ids, and
+feeds an asyncio consumer task that executes one job at a time through a
+:class:`~repro.service.coordinator.Coordinator` (the coordinator itself
+fans out across worker processes, so serialising *jobs* keeps the machine
+exactly ``num_workers`` wide while still pipelining submissions).
+
+Job lifecycle::
+
+    queued ──▶ running ──▶ done      every scenario produced a report
+                       ├─▶ partial   some scenarios errored (or drained)
+                       └─▶ failed    the job itself raised (bad spec,
+                                     exhausted budget, coordinator fault)
+
+Everything is stdlib asyncio; the blocking coordinator run is pushed onto
+the event loop's default executor so the loop stays responsive to status
+queries while a campaign executes.  Queue latency (submission → dispatch)
+is measured here and stamped onto each job's
+:class:`~repro.service.stats.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..errors import JobNotFoundError, ServiceError
+from .coordinator import Coordinator, ServiceExecution, with_queue_latency
+from .spec import CampaignSpec
+
+__all__ = ["Job", "JobQueue", "JOB_STATES", "TERMINAL_STATES"]
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "partial", "failed")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "partial", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything known about its progress."""
+
+    job_id: str
+    spec: CampaignSpec
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: ServiceExecution | None = None
+    completed_scenarios: int = 0
+    _enqueued_monotonic: float = field(default_factory=time.monotonic)
+    _queue_latency: float = 0.0
+
+    def status(self) -> dict:
+        """JSON-friendly status snapshot (what ``GET /jobs/<id>`` returns)."""
+        payload = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "description": self.spec.describe(),
+            "scenarios_total": len(self.spec),
+            "completed_scenarios": self.completed_scenarios,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_latency_seconds": self._queue_latency,
+            "error": self.error,
+        }
+        if self.result is not None:
+            payload["stats"] = self.result.stats.to_dict()
+        return payload
+
+    def result_payload(self) -> dict:
+        """Merged campaign summary + service stats of a finished job.
+
+        Raises :class:`~repro.errors.ServiceError` while the job is still
+        queued or running, and for failed jobs (whose only artefact is the
+        error text already in :meth:`status`).
+        """
+        if self.state not in TERMINAL_STATES:
+            raise ServiceError(
+                f"job {self.job_id} is {self.state}; results exist only for "
+                f"states {TERMINAL_STATES}"
+            )
+        if self.result is None:
+            raise ServiceError(f"job {self.job_id} failed without a result: {self.error}")
+        summary = self.result.summary()
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "summary": summary.to_dict(),
+            "summary_text": summary.to_text(),
+            "outcomes": [outcome.to_dict() for outcome in self.result.execution.outcomes],
+        }
+
+
+class JobQueue:
+    """Single-consumer asyncio queue executing campaign specs in order.
+
+    Parameters
+    ----------
+    store_root:
+        Shared campaign-store directory handed to every job's coordinator.
+    num_workers:
+        Worker-process fan-out per job.
+    coordinator_options:
+        Extra keyword arguments forwarded to every
+        :class:`~repro.service.coordinator.Coordinator` (retry policy,
+        heartbeat tuning, chaos hooks — mainly for tests).
+    """
+
+    def __init__(self, store_root, num_workers: int = 4, **coordinator_options) -> None:
+        self._store_root = str(store_root)
+        self._num_workers = num_workers
+        self._coordinator_options = coordinator_options
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._consumer: asyncio.Task | None = None
+        self._draining = False
+        self._next_serial = 1
+        self._current_coordinator: Coordinator | None = None
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the consumer task on the running event loop (idempotent)."""
+        if self._consumer is None or self._consumer.done():
+            self._consumer = asyncio.get_running_loop().create_task(self._consume())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new jobs, finish the running one.
+
+        Jobs still queued are marked ``failed`` with a drain notice; the
+        in-flight job's coordinator is asked to drain and its flushed work
+        stays in the store.
+        """
+        self._draining = True
+        coordinator = self._current_coordinator
+        if coordinator is not None:
+            coordinator.request_drain()
+        while not self._queue.empty():
+            try:
+                job = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            job.state = "failed"
+            job.error = "service drained before the job was dispatched"
+            job.finished_at = time.time()
+        await self._idle.wait()
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+
+    @property
+    def draining(self) -> bool:
+        """Whether the queue has begun a graceful shutdown."""
+        return self._draining
+
+    # ------------------------------------------------------------------ #
+    # Client surface
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: CampaignSpec) -> str:
+        """Enqueue a campaign spec; returns the assigned job id."""
+        if self._draining:
+            raise ServiceError("the service is draining and not accepting jobs")
+        if not isinstance(spec, CampaignSpec):
+            raise ServiceError("submissions must be CampaignSpec values")
+        job_id = f"job-{self._next_serial:06d}"
+        self._next_serial += 1
+        job = Job(job_id=job_id, spec=spec)
+        self._jobs[job_id] = job
+        self._order.append(job_id)
+        self._queue.put_nowait(job)
+        self.start()
+        return job_id
+
+    def get(self, job_id: str) -> Job:
+        """The job record for ``job_id`` (raises :class:`JobNotFoundError`)."""
+        try:
+            return self._jobs[job_id]
+        except KeyError as exc:
+            raise JobNotFoundError(f"unknown job id {job_id!r}") from exc
+
+    def status(self, job_id: str) -> dict:
+        """Status snapshot of one job."""
+        return self.get(job_id).status()
+
+    def result(self, job_id: str) -> dict:
+        """Result payload of one finished job."""
+        return self.get(job_id).result_payload()
+
+    def jobs(self) -> list[dict]:
+        """Status snapshots of every job, in submission order."""
+        return [self._jobs[job_id].status() for job_id in self._order]
+
+    def service_stats(self) -> dict:
+        """Queue-level aggregates (what ``GET /stats`` returns)."""
+        states = {state: 0 for state in JOB_STATES}
+        for job_id in self._order:
+            states[self._jobs[job_id].state] += 1
+        latencies = [
+            self._jobs[job_id]._queue_latency
+            for job_id in self._order
+            if self._jobs[job_id].started_at is not None
+        ]
+        return {
+            "jobs": dict(states),
+            "draining": self._draining,
+            "num_workers": self._num_workers,
+            "store_root": self._store_root,
+            "mean_queue_latency_seconds": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Consumer
+    # ------------------------------------------------------------------ #
+    async def _consume(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job.state != "queued":  # drained while waiting
+                continue
+            self._idle.clear()
+            try:
+                await self._execute(job)
+            finally:
+                self._current_coordinator = None
+                self._idle.set()
+
+    async def _execute(self, job: Job) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        job._queue_latency = time.monotonic() - job._enqueued_monotonic
+        coordinator = Coordinator.for_spec(
+            job.spec,
+            self._store_root,
+            num_workers=self._num_workers,
+            progress_callback=lambda outcome: self._on_progress(job),
+            **self._coordinator_options,
+        )
+        self._current_coordinator = coordinator
+        loop = asyncio.get_running_loop()
+        try:
+            execution = await loop.run_in_executor(
+                None, coordinator.run, job.spec.scenarios()
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation: record, continue
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            job.result = with_queue_latency(execution, job._queue_latency)
+            job.completed_scenarios = len(execution.execution.outcomes)
+            job.state = "partial" if execution.execution.errors else "done"
+        job.finished_at = time.time()
+
+    def _on_progress(self, job: Job) -> None:
+        # Called from the executor thread; a bare int increment is atomic
+        # enough for a progress gauge.
+        job.completed_scenarios += 1

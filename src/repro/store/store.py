@@ -131,15 +131,16 @@ class CampaignStore:
             return None
         return fingerprint, outcome
 
-    def load(self) -> dict:
-        """Scan every shard into the fingerprint → outcome index.
+    def _scan(self, paths) -> dict:
+        """Fingerprint → outcome index over exactly the given shard files.
 
         Corrupt lines (torn appends, truncation, garbage) are skipped with a
         :class:`CampaignStoreWarning`; duplicate fingerprints keep the first
-        record in deterministic shard order.
+        record in the order the paths are given (callers pass them in
+        deterministic shard order).
         """
         index: dict[str, ScenarioOutcome] = {}
-        for path in self.shard_paths():
+        for path in paths:
             try:
                 text = path.read_text(encoding="utf-8")
             except OSError as exc:
@@ -155,6 +156,16 @@ class CampaignStore:
                     continue
                 fingerprint, outcome = parsed
                 index.setdefault(fingerprint, outcome)
+        return index
+
+    def load(self) -> dict:
+        """Scan every shard into the fingerprint → outcome index.
+
+        Corrupt lines (torn appends, truncation, garbage) are skipped with a
+        :class:`CampaignStoreWarning`; duplicate fingerprints keep the first
+        record in deterministic shard order.
+        """
+        index = self._scan(self.shard_paths())
         self._index = index
         return dict(index)
 
@@ -240,17 +251,50 @@ class CampaignStore:
         Collapses every shard into this instance's shard file (atomic
         replace), drops corrupt lines for good and removes the other shard
         files.  Returns the number of surviving records.
+
+        Determinism contract: the surviving record per fingerprint is
+        exactly the one :meth:`load` would have served — first record in
+        sorted shard order, lines in file order — and the output lines are
+        sorted by fingerprint.  The set of shards is snapshotted *before*
+        scanning and only those files are removed afterwards, so a shard
+        created by a concurrent writer between the scan and the cleanup is
+        left untouched instead of being deleted unread.  (Records appended
+        to an already-scanned shard during compaction are still lost —
+        quiesce writers, as the service coordinator's drain does, before
+        compacting a live store.)
         """
-        index = self.load()
+        paths = self.shard_paths()
+        index = self._scan(paths)
         lines = [
             self._record_line(fingerprint, index[fingerprint])
             for fingerprint in sorted(index)
         ]
         self._write_shard_atomic(self.shard_path, lines)
-        for path in self.shard_paths():
+        for path in paths:
             if path != self.shard_path:
-                path.unlink()
+                path.unlink(missing_ok=True)
+        self._index = index
         return len(index)
+
+    def replace_shard(self, path: Path, lines: list[str]) -> None:
+        """Atomically replace one shard of this store with the given lines.
+
+        The shard-lifecycle layer (:mod:`repro.service.lifecycle`) rewrites
+        shards record-by-record during garbage collection; routing the write
+        through the store keeps the tmp-file + ``os.replace`` durability
+        model in one place.  An empty ``lines`` list removes the shard.
+        Invalidates the in-memory index (next read rescans).
+        """
+        path = Path(path)
+        if path.parent != self._root:
+            raise ValidationError(
+                f"shard {path} is not inside the store directory {self._root}"
+            )
+        if lines:
+            self._write_shard_atomic(path, lines)
+        else:
+            path.unlink(missing_ok=True)
+        self._index = None
 
     def merge(self, *others) -> int:
         """Fold other stores (or store directories) into this one.

@@ -1,0 +1,139 @@
+"""Tests for the table-driven optional sections of ``CampaignSummary.to_text``.
+
+Each metric source (store, compiler, adaptive planner, service queue) owns
+one renderer in ``_SUMMARY_SECTIONS``; a renderer returns its line or
+``None`` when the campaign never touched that subsystem.  The contract
+under test: sections appear only when their data is present, in table
+order, and adding a source never requires editing ``to_text`` itself.
+"""
+
+from repro.bist.report import (
+    _SUMMARY_SECTIONS,
+    _adaptive_section,
+    _compiler_section,
+    _service_section,
+    _store_section,
+    CampaignSummary,
+)
+
+SERVICE_PAYLOAD = {
+    "num_workers": 4,
+    "num_partitions": 3,
+    "retries": 1,
+    "queue_latency_seconds": 0.125,
+    "execution_seconds": 2.5,
+    "warm_hit_rate": 0.75,
+}
+
+COMPILER_PAYLOAD = {
+    "groups_formed": 2,
+    "scenarios_batched": 5,
+    "scenarios_pooled": 3,
+    "structure_cache": {"hits": 4, "misses": 1},
+}
+
+
+def make_summary(**kwargs) -> CampaignSummary:
+    """Smallest valid summary: one errored scenario, no reports needed."""
+    return CampaignSummary.from_entries(
+        [], errors=[("scenario-0", "synthetic")], **kwargs
+    )
+
+
+class TestSectionTable:
+    def test_table_covers_every_metric_source_in_order(self):
+        assert _SUMMARY_SECTIONS == (
+            _store_section,
+            _compiler_section,
+            _adaptive_section,
+            _service_section,
+        )
+
+    def test_bare_summary_renders_no_optional_sections(self):
+        text = make_summary().to_text()
+        for renderer in _SUMMARY_SECTIONS:
+            assert renderer(make_summary()) is None
+        assert "campaign store:" not in text
+        assert "campaign compiler:" not in text
+        assert "adaptive efficiency:" not in text
+        assert "campaign service:" not in text
+
+    def test_every_section_renders_when_its_source_is_present(self):
+        summary = make_summary(
+            cache_hits=3,
+            cache_misses=1,
+            deduplicated=2,
+            compiler_stats=COMPILER_PAYLOAD,
+            scenarios_saved_vs_grid=4.0,
+            service=SERVICE_PAYLOAD,
+        )
+        text = summary.to_text()
+        lines = text.splitlines()
+        order = [
+            lines.index(next(line for line in lines if line.startswith(prefix)))
+            for prefix in (
+                "campaign store:",
+                "campaign compiler:",
+                "adaptive efficiency:",
+                "campaign service:",
+            )
+        ]
+        # Sections appear in table order, right after the headline.
+        assert order == sorted(order)
+        assert order[0] == 1
+
+
+class TestStoreSection:
+    def test_hits_and_dedup(self):
+        summary = make_summary(cache_hits=3, cache_misses=1, deduplicated=2)
+        assert _store_section(summary) == (
+            "campaign store: 3 cache hit(s), 2 deduplicated, 1 executed"
+        )
+
+    def test_dedup_clause_is_omitted_when_zero(self):
+        summary = make_summary(cache_hits=3, cache_misses=1)
+        assert "deduplicated" not in _store_section(summary)
+
+    def test_cold_run_renders_nothing(self):
+        assert _store_section(make_summary(cache_misses=1)) is None
+
+
+class TestCompilerSection:
+    def test_renders_counts_and_structure_cache(self):
+        summary = make_summary(compiler_stats=COMPILER_PAYLOAD)
+        assert _compiler_section(summary) == (
+            "campaign compiler: 2 group(s), 5 batched, 3 pooled "
+            "(structure cache: 4 hit(s), 1 miss(es))"
+        )
+
+
+class TestAdaptiveSection:
+    def test_renders_grid_equivalent_efficiency(self):
+        summary = make_summary(scenarios_saved_vs_grid=4.25)
+        assert _adaptive_section(summary) == (
+            "adaptive efficiency: 4.2x fewer scenarios than the exhaustive grid"
+        )
+
+
+class TestServiceSection:
+    def test_renders_queue_and_cache_metrics(self):
+        line = _service_section(make_summary(service=SERVICE_PAYLOAD))
+        assert line == (
+            "campaign service: 4 worker(s), 3 partition(s), 1 retry(ies); "
+            "queue latency 0.125 s, execution 2.50 s; "
+            "warm-cache hit rate 75.0%"
+        )
+
+    def test_missing_keys_default_to_zero(self):
+        line = _service_section(make_summary(service={}))
+        assert "0 worker(s)" in line
+        assert "warm-cache hit rate 0.0%" in line
+
+    def test_service_dict_round_trips_through_to_dict(self):
+        summary = make_summary(service=SERVICE_PAYLOAD)
+        assert summary.to_dict()["service"] == SERVICE_PAYLOAD
+        # from_entries defensively copies: mutating the input doesn't leak.
+        payload = dict(SERVICE_PAYLOAD)
+        summary = make_summary(service=payload)
+        payload["num_workers"] = 99
+        assert summary.service["num_workers"] == 4

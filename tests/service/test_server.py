@@ -1,0 +1,146 @@
+"""HTTP round-trip tests: server in a background thread, blocking client."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.bist import BistConfig
+from repro.errors import JobNotFoundError, ServiceError
+from repro.service import CampaignSpec, JobQueue
+from repro.service.client import ServiceClient
+from repro.service.server import BistServiceServer
+
+FAST_CONFIG = BistConfig(
+    num_samples_fast=128,
+    num_samples_slow=64,
+    lms_max_iterations=25,
+    num_cost_points=60,
+    measure_evm_enabled=False,
+)
+
+
+def fast_spec(profiles=("paper-qpsk-1ghz",)) -> CampaignSpec:
+    return CampaignSpec(profiles=profiles, bist_config=FAST_CONFIG)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live server on an ephemeral port + a client; drained on teardown."""
+    import asyncio
+
+    ready = threading.Event()
+    state = {}
+
+    def run_server():
+        async def main():
+            queue = JobQueue(tmp_path / "store", num_workers=2)
+            server = BistServiceServer(queue, port=0)
+            await server.start()
+            state["port"] = server.port
+            ready.set()
+            await server.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run_server, daemon=True)
+    thread.start()
+    assert ready.wait(10.0), "server never came up"
+    client = ServiceClient(f"http://127.0.0.1:{state['port']}", timeout_seconds=30.0)
+    yield client
+    try:
+        client.drain()
+    except ServiceError:
+        pass  # already drained by the test
+    thread.join(timeout=60.0)
+    assert not thread.is_alive(), "server thread did not shut down"
+
+
+def raw_request(client: ServiceClient, method: str, path: str, body: bytes = b"") -> tuple:
+    """Bypass the client's error unwrapping to assert raw status codes."""
+    host = client._base_url.split("//", 1)[1]
+    connection = http.client.HTTPConnection(host, timeout=10.0)
+    connection.request(method, path, body=body or None)
+    response = connection.getresponse()
+    payload = json.loads(response.read().decode("utf-8"))
+    connection.close()
+    return response.status, payload
+
+
+class TestRoundTrip:
+    def test_submit_status_result_flow(self, service):
+        assert service.health()["status"] == "ok"
+        job_id = service.submit(fast_spec())
+        status = service.wait(job_id, timeout_seconds=120.0)
+        assert status["state"] == "done"
+        result = service.result(job_id)
+        assert result["job_id"] == job_id
+        assert "campaign service:" in result["summary_text"]
+        assert result["summary"]["service"]["scenarios_total"] == 1
+        assert len(result["outcomes"]) == 1
+        assert service.stats()["jobs"]["done"] == 1
+
+    def test_jobs_listing(self, service):
+        first = service.submit(fast_spec())
+        service.wait(first, timeout_seconds=120.0)
+        jobs = service.jobs()
+        assert [job["job_id"] for job in jobs] == [first]
+
+    def test_drain_shuts_the_service_down(self, service):
+        response = service.drain()
+        assert response["status"] == "draining"
+
+
+class TestProtocolErrors:
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(JobNotFoundError):
+            service.status("job-424242")
+
+    def test_result_of_running_job_is_409(self, service):
+        job_id = service.submit(fast_spec())
+        status, payload = raw_request(service, "GET", f"/jobs/{job_id}/result")
+        # Terminal-state race: a very fast job may already be done.
+        assert status in (200, 409)
+        if status == 409:
+            assert "results exist only" in payload["error"]
+        service.wait(job_id, timeout_seconds=120.0)
+
+    def test_bad_spec_is_400(self, service):
+        status, payload = raw_request(
+            service, "POST", "/jobs", json.dumps({"profiles": []}).encode()
+        )
+        assert status == 400
+        assert "invalid campaign spec" in payload["error"]
+
+    def test_non_json_body_is_400(self, service):
+        status, payload = raw_request(service, "POST", "/jobs", b"not json")
+        assert status == 400
+        assert "not valid JSON" in payload["error"]
+
+    def test_unknown_path_is_404(self, service):
+        status, payload = raw_request(service, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, service):
+        status, _ = raw_request(service, "POST", "/health")
+        assert status == 405
+        status, _ = raw_request(service, "GET", "/drain")
+        assert status == 405
+
+    def test_unknown_job_resource_is_404(self, service):
+        status, _ = raw_request(service, "GET", "/jobs/job-000001/weird")
+        assert status == 404
+
+
+class TestClientTransport:
+    def test_unreachable_endpoint_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout_seconds=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+    def test_wait_times_out_with_service_error(self, service):
+        job_id = service.submit(fast_spec())
+        with pytest.raises(ServiceError, match="still"):
+            service.wait(job_id, timeout_seconds=0.0, poll_seconds=0.01)
+        service.wait(job_id, timeout_seconds=120.0)

@@ -1,0 +1,71 @@
+"""Tests for service flow metrics: derived rates, serialization, rendering."""
+
+from repro.service import ServiceStats, WorkerStats
+
+
+class TestWorkerStats:
+    def test_throughput(self):
+        worker = WorkerStats("worker-000", executed=4, busy_seconds=2.0)
+        assert worker.throughput_per_second == 2.0
+
+    def test_idle_worker_throughput_is_zero(self):
+        assert WorkerStats("worker-000").throughput_per_second == 0.0
+
+    def test_round_trip(self):
+        worker = WorkerStats(
+            "worker-007", partitions=2, scenarios=9, executed=6, cache_hits=3,
+            busy_seconds=1.5,
+        )
+        rebuilt = WorkerStats.from_dict(worker.to_dict())
+        assert rebuilt == worker
+
+
+class TestServiceStats:
+    def make(self, **overrides) -> ServiceStats:
+        base = dict(
+            num_workers=4,
+            num_partitions=4,
+            scenarios_total=10,
+            planned_cache_hits=3,
+            worker_cache_hits=1,
+            deduplicated=1,
+            executed=5,
+            retries=1,
+            queue_latency_seconds=0.25,
+            execution_seconds=2.0,
+            serial_equivalent_seconds=6.0,
+            workers=(WorkerStats("worker-000", executed=5, busy_seconds=6.0),),
+        )
+        base.update(overrides)
+        return ServiceStats(**base)
+
+    def test_cache_hits_combine_planned_and_worker(self):
+        assert self.make().cache_hits == 4
+
+    def test_warm_hit_rate(self):
+        assert self.make().warm_hit_rate == 0.4
+        assert self.make(scenarios_total=0).warm_hit_rate == 0.0
+
+    def test_scaling_efficiency(self):
+        assert self.make().scaling_efficiency == 3.0
+        assert self.make(execution_seconds=0.0).scaling_efficiency == 0.0
+
+    def test_round_trip(self):
+        stats = self.make()
+        rebuilt = ServiceStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+        assert rebuilt.to_dict() == stats.to_dict()
+
+    def test_to_dict_includes_derived_metrics(self):
+        payload = self.make().to_dict()
+        assert payload["cache_hits"] == 4
+        assert payload["warm_hit_rate"] == 0.4
+        assert payload["scaling_efficiency"] == 3.0
+
+    def test_to_text_mentions_every_axis(self):
+        text = self.make().to_text()
+        assert "10 scenario(s)" in text
+        assert "1 retry(ies)" in text
+        assert "40.0% warm" in text
+        assert "3.00x scaling" in text
+        assert "worker-000" in text

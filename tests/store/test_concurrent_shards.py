@@ -1,0 +1,154 @@
+"""Concurrency tests for the store: live multi-process shard writers.
+
+The distributed BIST service leans on two store guarantees:
+
+* worker processes appending to *separate* shards of one store directory
+  never corrupt each other, and a merged ``load()`` sees every fsync'd
+  record the instant the writers finish;
+* ``compact()`` resolves duplicate fingerprints exactly as ``load()``
+  would (first record in sorted shard order) and never deletes a shard it
+  did not scan, so a concurrent writer cannot lose data.
+
+These tests exercise those guarantees with real OS processes, not mocks.
+"""
+
+import multiprocessing
+from dataclasses import replace
+
+from repro.bist import BistConfig, CampaignRunner, ScenarioGrid
+from repro.store import CampaignStore
+
+#: Small-but-real engine configuration so execution stays fast.
+FAST_CONFIG = BistConfig(
+    num_samples_fast=128,
+    num_samples_slow=64,
+    lms_max_iterations=25,
+    num_cost_points=60,
+    measure_evm_enabled=False,
+)
+
+RECORDS_PER_WRITER = 4
+
+
+def _real_outcome():
+    grid = ScenarioGrid().add_profiles("paper-qpsk-1ghz").build()
+    execution = CampaignRunner(bist_config=FAST_CONFIG).run(grid)
+    outcome = execution.outcomes[0]
+    assert outcome.ok
+    return outcome
+
+
+def _append_interleaved(root, shard: str, outcome, barrier) -> None:
+    """Child-process body: fsync'd puts lock-stepped against the sibling.
+
+    The barrier before every ``put`` forces the two writers' appends to
+    interleave in time instead of one racing ahead, which is the pattern a
+    busy coordinator produces.  Each writer also records one *shared*
+    fingerprint so the merge has a genuine cross-shard duplicate to resolve.
+    """
+    store = CampaignStore(root, shard=shard)
+    for i in range(RECORDS_PER_WRITER):
+        barrier.wait(timeout=30)
+        store.put(f"fp-{shard}-{i}", replace(outcome, index=i, label=f"{shard}-{i}"))
+    barrier.wait(timeout=30)
+    store.put("fp-shared", replace(outcome, index=99, label=f"shared-by-{shard}"))
+
+
+class TestLiveConcurrentWriters:
+    def test_interleaved_fsynced_appends_merge_completely(self, tmp_path):
+        root = tmp_path / "store"
+        outcome = _real_outcome()
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        writers = [
+            context.Process(
+                target=_append_interleaved,
+                args=(root, shard, outcome, barrier),
+            )
+            for shard in ("worker-a", "worker-b")
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+
+        # A store instance that never saw the writers reads everything.
+        merged = CampaignStore(root)
+        fingerprints = merged.fingerprints()
+        expected = {
+            f"fp-{shard}-{i}"
+            for shard in ("worker-a", "worker-b")
+            for i in range(RECORDS_PER_WRITER)
+        } | {"fp-shared"}
+        assert set(fingerprints) == expected
+        # The cross-shard duplicate resolves by sorted shard order: the
+        # lexicographically-first shard wins, regardless of wall-clock order.
+        assert merged.get("fp-shared").label == "shared-by-worker-a"
+        # Every record parses cleanly — interleaving tore nothing.
+        assert len(merged.load()) == len(expected)
+
+
+class TestCompactDeterminism:
+    def make_duplicate_store(self, root, outcome) -> CampaignStore:
+        """Two shards that disagree about ``fp-dup`` (plus one unique each)."""
+        root.mkdir()
+        (root / "b-late.jsonl").write_text(
+            CampaignStore._record_line("fp-dup", replace(outcome, label="late"))
+            + "\n"
+            + CampaignStore._record_line("fp-b", replace(outcome, label="only-b"))
+            + "\n"
+        )
+        (root / "a-early.jsonl").write_text(
+            CampaignStore._record_line("fp-dup", replace(outcome, label="early")) + "\n"
+        )
+        return CampaignStore(root, shard="combined")
+
+    def test_compact_preserves_first_record_wins(self, tmp_path):
+        outcome = _real_outcome()
+        store = self.make_duplicate_store(tmp_path / "store", outcome)
+        served_before = {
+            fingerprint: record.label for fingerprint, record in store.load().items()
+        }
+        assert store.compact() == 2
+        fresh = CampaignStore(tmp_path / "store")
+        served_after = {
+            fingerprint: record.label for fingerprint, record in fresh.load().items()
+        }
+        # The survivor per fingerprint is exactly what load() served before.
+        assert served_after == served_before
+        assert served_after["fp-dup"] == "early"
+
+    def test_compact_output_is_sorted_and_stable(self, tmp_path):
+        outcome = _real_outcome()
+        store = self.make_duplicate_store(tmp_path / "store", outcome)
+        store.compact()
+        first = (tmp_path / "store" / "combined.jsonl").read_text()
+        # Re-compacting an already-compact store is a fixed point.
+        CampaignStore(tmp_path / "store", shard="combined").compact()
+        assert (tmp_path / "store" / "combined.jsonl").read_text() == first
+        assert CampaignStore(tmp_path / "store").fingerprints() == sorted(
+            ["fp-dup", "fp-b"]
+        )
+
+    def test_compact_spares_a_shard_created_mid_scan(self, tmp_path, monkeypatch):
+        """A shard born between snapshot and cleanup must survive unread."""
+        root = tmp_path / "store"
+        outcome = _real_outcome()
+        store = self.make_duplicate_store(root, outcome)
+        original_scan = store._scan
+
+        def scan_then_race(paths):
+            index = original_scan(paths)
+            # A concurrent worker lands a new shard mid-compaction.
+            CampaignStore(root, shard="latecomer").put(
+                "fp-late", replace(outcome, label="late-arrival")
+            )
+            return index
+
+        monkeypatch.setattr(store, "_scan", scan_then_race)
+        store.compact()
+        assert (root / "latecomer.jsonl").exists()
+        fresh = CampaignStore(root)
+        assert fresh.get("fp-late").label == "late-arrival"
+        assert set(fresh.fingerprints()) == {"fp-dup", "fp-b", "fp-late"}
