@@ -44,6 +44,7 @@ from .measurements import (
     measure_occupied_bandwidth,
     measure_ofdm_evm,
     measure_spectrum_from_samples,
+    reconstructed_envelope,
     render_uniform,
     uniform_render_grid,
 )
@@ -304,6 +305,100 @@ class TransmitterBist:
             checks=tuple(checks),
             mask_result=mask_result,
         )
+
+    def stream(
+        self,
+        burst: TransmissionResult | None = None,
+        block_samples: int = 256,
+        window_samples: int | None = None,
+        segment_length: int | None = None,
+        detector=None,
+        baseline: dict | None = None,
+        stage: BistStage | None = None,
+    ):
+        """Run a monitored streaming session over the calibrated reconstruction.
+
+        The continuous counterpart of :meth:`run`: the engine prepares the
+        calibrated reconstructor exactly as the batch path does, extracts the
+        reconstructed complex envelope around the carrier, and feeds it block
+        by block through a :class:`repro.monitor.StreamingMonitor` — per-window
+        output power / ACPR / occupied bandwidth / EVM with sequential drift
+        charting — instead of one whole-record measurement.  Returns the
+        :class:`repro.monitor.MonitorReport` of the session.
+
+        Parameters
+        ----------
+        burst:
+            Transmission to monitor; a fresh burst covering the acquisition
+            window is transmitted when ``None`` (same as :meth:`run`).
+        block_samples:
+            Ingest block size; the monitor's results are invariant to it.
+        window_samples / segment_length:
+            Measurement window and Welch segment sizes in envelope samples;
+            by default both adapt to the reconstructed record (eight windows
+            of four segments each) since the paper's acquisitions are short.
+        detector:
+            Optional :class:`repro.monitor.DriftDetectorConfig`.
+        baseline:
+            Optional explicit per-metric baseline for the drift detector
+            (e.g. from a stored golden campaign); learned during warm-up
+            when ``None``.
+        stage:
+            Optional pre-computed :class:`BistStage` from :meth:`prepare`
+            (``burst`` is then ignored).  Acquisition noise makes every
+            :meth:`prepare` a fresh realisation, so re-streaming the *same*
+            acquisition — e.g. to compare block sizes — requires passing
+            the stage explicitly.
+        """
+        # Imported lazily: repro.monitor reaches back into repro.store (whose
+        # baseline module imports repro.bist.report), so a module-level import
+        # here would cycle through the package initialisers.
+        from ..monitor import (
+            ChannelSpec,
+            DriftDetectorConfig,
+            MonitorConfig,
+            StreamingMonitor,
+            SymbolReference,
+            iter_blocks,
+        )
+
+        if stage is None:
+            stage = self.prepare(burst)
+        elif not isinstance(stage, BistStage):
+            raise ValidationError("stage must be a BistStage from prepare()")
+        config = self._config
+        envelope_rate = stage.burst.config.envelope_sample_rate
+        valid_low, valid_high = stage.reconstructor.valid_time_range()
+        times, envelope = reconstructed_envelope(
+            stage.reconstructor,
+            carrier_frequency_hz=self._transmitter.carrier_frequency,
+            start_time=valid_low,
+            stop_time=valid_high,
+            envelope_rate=envelope_rate,
+        )
+        if window_samples is None:
+            window_samples = max(64, envelope.size // 8)
+        if segment_length is None:
+            segment_length = max(8, min(int(window_samples) // 4, 256))
+        profile = self._profile
+        monitor_config = MonitorConfig(
+            sample_rate=envelope_rate,
+            window_samples=int(window_samples),
+            segment_length=int(segment_length),
+            channel=ChannelSpec(
+                centre_hz=0.0,
+                bandwidth_hz=profile.channel_bandwidth_hz,
+                spacing_hz=profile.channel_spacing_hz,
+            ),
+            detector=detector if detector is not None else DriftDetectorConfig(),
+            start_time=float(times[0]),
+        )
+        reference = None
+        if config.measure_evm_enabled and stage.burst.config.ofdm is None:
+            reference = SymbolReference.from_transmission(stage.burst)
+        monitor = StreamingMonitor(monitor_config, reference=reference, baseline=baseline)
+        monitor.ingest_stream(iter_blocks(envelope, block_samples))
+        return monitor.report()
 
     def dense_measurement_grid(self, stage: BistStage) -> tuple[np.ndarray, float]:
         """The exact dense grid ``finish`` will measure ``stage`` on.

@@ -378,6 +378,24 @@ def _service_section(summary: "CampaignSummary") -> str | None:
     )
 
 
+def _monitor_section(summary: "CampaignSummary") -> str | None:
+    """Streaming-monitor statistics of a continuously monitored campaign."""
+    if summary.monitor is None:
+        return None
+    stats = summary.monitor
+    alarmed = stats.get("alarmed_metrics") or []
+    if stats.get("alarms", 0):
+        first = stats.get("first_alarm_window")
+        verdict = f"{stats.get('alarms', 0)} alarm(s) [{', '.join(alarmed)}], first at window {first}"
+    else:
+        verdict = "no drift alarms"
+    return (
+        f"streaming monitor: {stats.get('windows', 0)} window(s) over "
+        f"{stats.get('samples_ingested', 0)} sample(s) "
+        f"({stats.get('segments_accumulated', 0)} Welch segment(s)); {verdict}"
+    )
+
+
 #: Optional summary sections, rendered in this order between the headline
 #: and the per-profile table.  Each renderer returns its line, or ``None``
 #: when the campaign did not exercise that subsystem — adding a metric
@@ -389,6 +407,7 @@ _SUMMARY_SECTIONS = (
     _compiler_section,
     _adaptive_section,
     _service_section,
+    _monitor_section,
 )
 
 
@@ -429,6 +448,11 @@ class CampaignSummary:
     #: warm-cache hit-rate, per-worker throughput, retries); ``None`` for
     #: in-process campaigns.
     service: dict | None = None
+    #: Streaming-monitor statistics (``MonitorReport.summary()``) when the
+    #: campaign included a continuously monitored session (window count,
+    #: alarm count/metrics, first alarm window); ``None`` for purely batch
+    #: campaigns.
+    monitor: dict | None = None
 
     @classmethod
     def from_entries(
@@ -441,6 +465,7 @@ class CampaignSummary:
         compiler_stats: dict | None = None,
         scenarios_saved_vs_grid: float | None = None,
         service: dict | None = None,
+        monitor: dict | None = None,
     ) -> "CampaignSummary":
         """Aggregate ``(label, report)`` pairs and ``(label, error)`` pairs."""
         entries = list(entries)
@@ -504,6 +529,7 @@ class CampaignSummary:
                 None if scenarios_saved_vs_grid is None else float(scenarios_saved_vs_grid)
             ),
             service=(None if service is None else dict(service)),
+            monitor=(None if monitor is None else dict(monitor)),
         )
 
     @property
@@ -574,6 +600,7 @@ class CampaignSummary:
             "compiler": self.compiler,
             "scenarios_saved_vs_grid": self.scenarios_saved_vs_grid,
             "service": self.service,
+            "monitor": self.monitor,
             "mean_skew_error_ps": self.mean_skew_error_ps,
             "max_skew_error_ps": self.max_skew_error_ps,
             "profiles": {

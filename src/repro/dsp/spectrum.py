@@ -10,11 +10,12 @@ bandwidth and adjacent-channel power ratio used by :mod:`repro.bist`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import MeasurementError, ValidationError
+from ..errors import MeasurementError, MeasurementWarning, ValidationError
 from ..utils.validation import check_1d_array, check_in_range, check_integer, check_positive
 from ..utils.windows import make_window
 
@@ -139,7 +140,20 @@ def welch_psd(
     window: str = "hann",
     kaiser_beta: float = 8.0,
 ) -> SpectrumEstimate:
-    """Welch-averaged PSD estimate (reduced variance vs a single periodogram)."""
+    """Welch-averaged PSD estimate (reduced variance vs a single periodogram).
+
+    Notes
+    -----
+    When ``segment_length`` exceeds the record length it is clamped to the
+    record length, degrading the estimate to a single periodogram with *no*
+    variance reduction; a :class:`~repro.errors.MeasurementWarning` is
+    emitted so callers (and long-running accumulators) notice the
+    degradation instead of silently averaging one segment.  Up to
+    ``segment_length - 1`` tail samples that do not fill a final segment are
+    excluded from the estimate; :class:`repro.monitor.StreamingAccumulator`
+    carries exactly those samples over between blocks and reports them via
+    ``pending_samples``.
+    """
     samples = check_1d_array(samples, "samples", min_length=8)
     sample_rate = check_positive(sample_rate, "sample_rate")
     segment_length = check_integer(segment_length, "segment_length", minimum=8)
@@ -147,6 +161,13 @@ def welch_psd(
         overlap_fraction, "overlap_fraction", 0.0, 1.0, inclusive_high=False
     )
     if segment_length > samples.size:
+        warnings.warn(
+            f"segment_length ({segment_length}) exceeds the record length "
+            f"({samples.size}); clamping to the record length degrades the "
+            "Welch estimate to a single periodogram with no variance reduction",
+            MeasurementWarning,
+            stacklevel=2,
+        )
         segment_length = samples.size
     step = max(1, int(round(segment_length * (1.0 - overlap_fraction))))
 
@@ -170,13 +191,33 @@ def welch_psd(
 
 
 def band_power(estimate: SpectrumEstimate, low_hz: float, high_hz: float) -> float:
-    """Integrate PSD power over ``[low_hz, high_hz]`` (rectangle rule)."""
+    """Integrate PSD power over ``[low_hz, high_hz]`` (rectangle rule).
+
+    Bands at least one bin wide integrate the bins whose centres fall inside
+    the band (each contributing ``psd * resolution_hz``).  Bands *narrower*
+    than the bin spacing can fall entirely between bin centres; instead of
+    silently under-reporting the power as ``0.0`` (the pre-fix behaviour,
+    which produced spuriously perfect ACPR for narrow adjacent channels),
+    each bin is treated as a rectangle of width ``resolution_hz`` centred on
+    its frequency and the band receives the fractional coverage of the (at
+    most two) rectangles it overlaps.  Only a band lying wholly outside the
+    estimate's covered span integrates to ``0.0``.
+    """
     if high_hz <= low_hz:
         raise ValidationError(f"high_hz ({high_hz}) must exceed low_hz ({low_hz})")
-    mask = (estimate.frequencies_hz >= low_hz) & (estimate.frequencies_hz <= high_hz)
-    if not np.any(mask):
+    frequencies = estimate.frequencies_hz
+    mask = (frequencies >= low_hz) & (frequencies <= high_hz)
+    if np.any(mask):
+        return float(np.sum(estimate.psd[mask]) * estimate.resolution_hz)
+    # Sub-resolution band: no bin centre inside [low_hz, high_hz].  Snap to
+    # the overlapped bin rectangle(s) and integrate the fractional coverage.
+    half = estimate.resolution_hz / 2.0
+    overlapping = (frequencies + half > low_hz) & (frequencies - half < high_hz)
+    if not np.any(overlapping):
         return 0.0
-    return float(np.sum(estimate.psd[mask]) * estimate.resolution_hz)
+    centres = frequencies[overlapping]
+    coverage = np.minimum(high_hz, centres + half) - np.maximum(low_hz, centres - half)
+    return float(np.sum(estimate.psd[overlapping] * np.maximum(coverage, 0.0)))
 
 
 def total_power(estimate: SpectrumEstimate) -> float:

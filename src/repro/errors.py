@@ -21,6 +21,7 @@ __all__ = [
     "CalibrationError",
     "ConvergenceError",
     "MeasurementError",
+    "MeasurementWarning",
     "MaskError",
     "CampaignExecutionError",
     "BudgetExhaustedError",
@@ -76,6 +77,18 @@ class ConvergenceError(CalibrationError):
 
 class MeasurementError(ReproError):
     """A BIST measurement could not be computed from the acquired data."""
+
+
+class MeasurementWarning(UserWarning):
+    """A measurement silently degraded instead of failing.
+
+    Emitted (via :mod:`warnings`) when a DSP primitive adapts its parameters
+    to keep producing a result — e.g. :func:`repro.dsp.welch_psd` clamping
+    an oversized segment length to the record length, which degrades the
+    estimate to a single periodogram with no variance reduction.  Warnings
+    rather than errors: the degraded result is still numerically valid, but
+    long-running monitors accumulating such estimates should know.
+    """
 
 
 class MaskError(ReproError):

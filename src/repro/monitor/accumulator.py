@@ -1,0 +1,236 @@
+"""Incremental Welch PSD accumulation over a stream of sample blocks.
+
+The batch measurement stack renders a full acquisition and hands the whole
+record to :func:`repro.dsp.welch_psd`.  A continuously monitored transmitter
+never *has* the whole record — samples arrive block by block for hours — so
+:class:`StreamingAccumulator` maintains the Welch state incrementally: each
+ingested block is appended to a bounded carry-over buffer, every complete
+segment is periodogrammed and accumulated exactly as the batch estimator
+would, and the buffer retains only the overlap / tail samples the next
+segment needs.
+
+The contract is *bit-identity*: at any point, :meth:`spectrum` equals
+``welch_psd`` of the concatenated samples ingested so far (restricted to the
+complete segments both see), and after :meth:`finalize` the equivalence is
+exact for the full record — including the batch estimator's clamp-to-record
+fallback for records shorter than one segment.  Identity holds for *every*
+partition of the stream into blocks (single samples, uneven chunks, whole
+record at once), which is what the metamorphic test suite asserts.
+
+Memory is bounded by ``segment_length + max_block`` samples regardless of
+stream length, which is what makes the hours-of-traffic workload viable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsp.spectrum import SpectrumEstimate, periodogram, welch_psd
+from ..errors import MeasurementError, ValidationError
+from ..utils.validation import check_in_range, check_integer, check_positive
+
+__all__ = ["StreamingAccumulator"]
+
+
+class StreamingAccumulator:
+    """Accumulate a Welch PSD estimate from fixed- or variable-size blocks.
+
+    Parameters
+    ----------
+    sample_rate:
+        Sample rate of the ingested stream (Hz).
+    segment_length:
+        Welch segment length (same meaning as :func:`repro.dsp.welch_psd`).
+    overlap_fraction:
+        Segment overlap in ``[0, 1)``.
+    window / kaiser_beta:
+        Taper applied to each segment (see :func:`repro.utils.make_window`).
+
+    Notes
+    -----
+    The first ingested block pins the stream's domain (real or complex);
+    mixing domains raises :class:`~repro.errors.ValidationError`.  Segments
+    are processed in stream order and summed in the same order as the batch
+    estimator, so the accumulated PSD is bit-identical, not merely close.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        segment_length: int = 1024,
+        overlap_fraction: float = 0.5,
+        window: str = "hann",
+        kaiser_beta: float = 8.0,
+    ) -> None:
+        self._sample_rate = check_positive(sample_rate, "sample_rate")
+        self._segment_length = check_integer(segment_length, "segment_length", minimum=8)
+        self._overlap_fraction = check_in_range(
+            overlap_fraction, "overlap_fraction", 0.0, 1.0, inclusive_high=False
+        )
+        self._window = str(window)
+        self._kaiser_beta = float(kaiser_beta)
+        self._step = max(1, int(round(self._segment_length * (1.0 - self._overlap_fraction))))
+        self._buffer: np.ndarray | None = None
+        self._accumulated: np.ndarray | None = None
+        self._frequencies: np.ndarray | None = None
+        self._two_sided: bool | None = None
+        self._segments = 0
+        self._ingested = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def sample_rate(self) -> float:
+        """Stream sample rate (Hz)."""
+        return self._sample_rate
+
+    @property
+    def segment_length(self) -> int:
+        """Welch segment length in samples."""
+        return self._segment_length
+
+    @property
+    def step(self) -> int:
+        """Advance between consecutive segment starts, in samples."""
+        return self._step
+
+    @property
+    def samples_ingested(self) -> int:
+        """Total samples ingested so far."""
+        return self._ingested
+
+    @property
+    def segments_accumulated(self) -> int:
+        """Complete segments periodogrammed and accumulated so far."""
+        return self._segments
+
+    @property
+    def pending_samples(self) -> int:
+        """Carry-over samples retained for the next segment.
+
+        This is the streaming ledger of the batch estimator's "silently
+        dropped tail": exactly the samples after the last accumulated
+        segment's start (overlap plus unfilled tail).  They are not lost —
+        the next blocks complete them into further segments — but a
+        :meth:`spectrum` snapshot taken now has not seen them.
+        """
+        return 0 if self._buffer is None else int(self._buffer.size)
+
+    @property
+    def tail_samples(self) -> int:
+        """Ingested samples not covered by any accumulated segment.
+
+        Equals what :func:`repro.dsp.welch_psd` would drop if the stream
+        ended now (``< step`` once at least one segment accumulated).
+        """
+        if self._segments == 0:
+            return self._ingested
+        covered = (self._segments - 1) * self._step + self._segment_length
+        return self._ingested - covered
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, block) -> int:
+        """Append one block of samples; returns segments newly accumulated."""
+        block = np.atleast_1d(np.asarray(block))
+        if block.ndim != 1:
+            raise ValidationError(f"blocks must be one-dimensional, got shape {block.shape}")
+        if block.size == 0:
+            return 0
+        target = complex if np.iscomplexobj(block) else float
+        if self._buffer is None:
+            self._buffer = block.astype(target, copy=True)
+        else:
+            have_complex = np.iscomplexobj(self._buffer)
+            if have_complex != (target is complex):
+                raise ValidationError(
+                    "all blocks of a stream must share one domain (real or complex); "
+                    f"got a {'complex' if target is complex else 'real'} block after "
+                    f"{'complex' if have_complex else 'real'} ones"
+                )
+            self._buffer = np.concatenate([self._buffer, block.astype(target, copy=False)])
+        self._ingested += int(block.size)
+
+        added = 0
+        while self._buffer.size >= self._segment_length:
+            segment = self._buffer[: self._segment_length]
+            estimate = periodogram(
+                segment,
+                self._sample_rate,
+                window=self._window,
+                kaiser_beta=self._kaiser_beta,
+            )
+            if self._accumulated is None:
+                self._accumulated = estimate.psd.copy()
+                self._frequencies = estimate.frequencies_hz
+                self._two_sided = estimate.two_sided
+            else:
+                self._accumulated += estimate.psd
+            self._segments += 1
+            added += 1
+            self._buffer = self._buffer[self._step :]
+        return added
+
+    def extend(self, blocks) -> int:
+        """Ingest an iterable of blocks; returns segments newly accumulated."""
+        return sum(self.ingest(block) for block in blocks)
+
+    # ------------------------------------------------------------------ #
+    # Estimates
+    # ------------------------------------------------------------------ #
+    def spectrum(self) -> SpectrumEstimate:
+        """Snapshot of the accumulated Welch estimate.
+
+        Bit-identical to ``welch_psd`` of the ingested samples truncated to
+        the segments accumulated so far.  Raises
+        :class:`~repro.errors.MeasurementError` before the first complete
+        segment.
+        """
+        if self._accumulated is None:
+            raise MeasurementError(
+                f"no complete Welch segment yet: {self._ingested} sample(s) ingested, "
+                f"{self._segment_length} needed per segment"
+            )
+        return SpectrumEstimate(
+            self._frequencies,
+            self._accumulated / self._segments,
+            self._sample_rate / self._segment_length,
+            two_sided=bool(self._two_sided),
+        )
+
+    def finalize(self) -> SpectrumEstimate:
+        """End-of-stream estimate, exactly equal to the batch estimator.
+
+        For streams of at least one segment this is :meth:`spectrum` (the
+        batch estimator drops the same tail the carry-over buffer still
+        holds).  For streams *shorter* than one segment it reproduces the
+        batch clamp-to-record fallback — including its
+        :class:`~repro.errors.MeasurementWarning` — by running ``welch_psd``
+        on the retained buffer, which at that point is the entire stream.
+        """
+        if self._accumulated is not None:
+            return self.spectrum()
+        if self._buffer is None or self._buffer.size < 8:
+            raise MeasurementError(
+                "stream too short for any spectral estimate "
+                f"({self._ingested} sample(s) ingested)"
+            )
+        return welch_psd(
+            self._buffer,
+            self._sample_rate,
+            segment_length=self._segment_length,
+            overlap_fraction=self._overlap_fraction,
+            window=self._window,
+            kaiser_beta=self._kaiser_beta,
+        )
+
+    def reset(self) -> None:
+        """Drop all state (buffer, accumulated PSD, counters)."""
+        self._buffer = None
+        self._accumulated = None
+        self._frequencies = None
+        self._two_sided = None
+        self._segments = 0
+        self._ingested = 0

@@ -1,0 +1,166 @@
+"""Command-line front end of the streaming monitor: ``python -m repro.monitor``.
+
+Runs a monitored session against a built-in waveform profile: transmit a
+burst, optionally inject a slow drift (gain ramp or noise ramp) at a chosen
+onset, stream the complex envelope through a :class:`StreamingMonitor` in
+caller-sized blocks, and print the JSON alarm log on stdout.  The exit code
+reports what the monitor saw — ``0`` when the alarm outcome matches the
+injected drift (alarms iff drift was injected), ``1`` otherwise — so the
+command doubles as a self-checking smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..errors import ReproError
+from ..signals.standards import get_profile, list_profiles
+from ..transmitter.chain import HomodyneTransmitter
+from ..transmitter.config import TransmitterConfig
+from .detector import DriftDetectorConfig
+from .drift import apply_gain_drift, apply_noise_drift
+from .monitor import ChannelSpec, StreamingMonitor, iter_blocks
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.monitor",
+        description="Stream a transmitted burst through the online BIST monitor.",
+    )
+    parser.add_argument(
+        "--profile",
+        default="paper-qpsk-1ghz",
+        choices=sorted(list_profiles()),
+        help="built-in waveform profile to transmit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--num-symbols", type=int, default=2048,
+        help="symbols to transmit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--block-samples", type=int, default=600,
+        help="ingest block size in samples (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--window-samples", type=int, default=1024,
+        help="measurement window size in samples (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--segment-length", type=int, default=256,
+        help="Welch segment length (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--drift", choices=("none", "gain", "noise"), default="gain",
+        help="drift mode to inject (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--drift-onset-fraction", type=float, default=0.4,
+        help="drift onset as a fraction of the stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--drift-db", type=float, default=-3.0,
+        help="gain drift reached at the final sample, dB (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--drift-noise-power", type=float, default=0.02,
+        help="noise drift power at the final sample (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--method", choices=("cusum", "ewma"), default="cusum",
+        help="sequential chart type (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=5.0,
+        help="alarm threshold on the chart statistic (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--warmup-windows", type=int, default=5,
+        help="baseline-learning windows before charting (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2014,
+        help="transmitter / noise seed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--summary-only", action="store_true",
+        help="print only the summary and alarms, not every window",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the JSON log to this file instead of stdout",
+    )
+    return parser
+
+
+def run_session(args) -> dict:
+    """Execute the monitored session; returns the JSON-ready log."""
+    profile = get_profile(args.profile)
+    transmitter = HomodyneTransmitter(
+        TransmitterConfig.from_profile(profile, seed=args.seed)
+    )
+    burst = transmitter.transmit(num_symbols=args.num_symbols)
+    envelope = burst.output_envelope.samples
+    onset = int(args.drift_onset_fraction * envelope.size)
+    if args.drift == "gain":
+        stream = apply_gain_drift(envelope, onset, args.drift_db)
+    elif args.drift == "noise":
+        stream = apply_noise_drift(
+            envelope, onset, args.drift_noise_power, seed=args.seed
+        )
+    else:
+        stream = envelope
+
+    monitor = StreamingMonitor.from_transmission(
+        burst,
+        window_samples=args.window_samples,
+        segment_length=args.segment_length,
+        detector=DriftDetectorConfig(
+            method=args.method,
+            threshold=args.threshold,
+            warmup_windows=args.warmup_windows,
+        ),
+        channel=ChannelSpec(
+            centre_hz=0.0,
+            bandwidth_hz=profile.channel_bandwidth_hz,
+            spacing_hz=profile.channel_spacing_hz,
+        ),
+    )
+    monitor.ingest_stream(iter_blocks(stream, args.block_samples))
+    report = monitor.report()
+
+    log = report.to_dict()
+    if args.summary_only:
+        log.pop("windows")
+    log["session"] = {
+        "profile": profile.name,
+        "num_symbols": int(args.num_symbols),
+        "block_samples": int(args.block_samples),
+        "drift": args.drift,
+        "drift_onset_sample": onset,
+        "drift_onset_window": onset // args.window_samples,
+        "seed": int(args.seed),
+    }
+    expected_alarm = args.drift != "none"
+    log["session"]["alarm_expected"] = expected_alarm
+    log["session"]["outcome_consistent"] = bool(report.alarms) == expected_alarm
+    return log
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        log = run_session(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rendered = json.dumps(log, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+    return 0 if log["session"]["outcome_consistent"] else 1

@@ -1,0 +1,81 @@
+"""Deterministic drift injection for monitor validation.
+
+The alarm-latency and false-alarm claims of the streaming monitor are only
+testable against *known* drift: a stream whose degradation onset and slope
+are chosen, not guessed.  These helpers synthesise the two slow-degradation
+modes the paper's continuous BIST is meant to flag:
+
+* a **gain ramp** (PA aging / supply droop) — the output power creeps away
+  from its baseline while the waveform shape stays intact;
+* a **noise ramp** (degrading SNR, e.g. a failing LO or creeping spurs) —
+  seeded additive noise whose power grows linearly after onset, moving the
+  EVM and ACPR.
+
+Both are pure functions of their inputs (the noise ramp is seeded), so every
+test and benchmark built on them is reproducible sample for sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_1d_array, check_integer, check_non_negative
+
+__all__ = ["gain_drift_profile", "apply_gain_drift", "apply_noise_drift"]
+
+
+def gain_drift_profile(num_samples: int, onset_sample: int, total_db: float) -> np.ndarray:
+    """Per-sample linear-in-dB gain ramp.
+
+    Unity gain up to ``onset_sample``; from there the gain ramps linearly in
+    dB, reaching ``total_db`` at the final sample.  ``total_db`` may be
+    negative (droop) or positive (gain expansion).
+    """
+    num_samples = check_integer(num_samples, "num_samples", minimum=1)
+    onset_sample = check_integer(onset_sample, "onset_sample", minimum=0)
+    profile_db = np.zeros(num_samples)
+    if onset_sample < num_samples - 1:
+        ramp = np.arange(num_samples - onset_sample) / (num_samples - 1 - onset_sample)
+        profile_db[onset_sample:] = float(total_db) * ramp
+    elif onset_sample < num_samples:
+        profile_db[onset_sample:] = float(total_db)
+    return 10.0 ** (profile_db / 20.0)
+
+
+def apply_gain_drift(samples, onset_sample: int, total_db: float) -> np.ndarray:
+    """Samples scaled by :func:`gain_drift_profile` (input untouched)."""
+    samples = check_1d_array(samples, "samples")
+    return samples * gain_drift_profile(samples.size, onset_sample, total_db)
+
+
+def apply_noise_drift(
+    samples,
+    onset_sample: int,
+    final_noise_power: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Samples plus additive noise whose power ramps after onset.
+
+    Noise power is zero up to ``onset_sample`` and grows linearly to
+    ``final_noise_power`` at the last sample.  The noise matches the sample
+    domain (circularly symmetric complex for complex input, real Gaussian
+    otherwise) and is fully determined by ``seed``.
+    """
+    samples = check_1d_array(samples, "samples")
+    onset_sample = check_integer(onset_sample, "onset_sample", minimum=0)
+    check_non_negative(final_noise_power, "final_noise_power")
+    power = np.zeros(samples.size)
+    if onset_sample < samples.size - 1:
+        ramp = np.arange(samples.size - onset_sample) / (samples.size - 1 - onset_sample)
+        power[onset_sample:] = float(final_noise_power) * ramp
+    elif onset_sample < samples.size:
+        power[onset_sample:] = float(final_noise_power)
+    sigma = np.sqrt(power)
+    rng = np.random.default_rng(seed)
+    if np.iscomplexobj(samples):
+        noise = (
+            rng.standard_normal(samples.size) + 1j * rng.standard_normal(samples.size)
+        ) * (sigma / np.sqrt(2.0))
+    else:
+        noise = rng.standard_normal(samples.size) * sigma
+    return samples + noise

@@ -1,0 +1,163 @@
+"""Windowed EVM against known transmitted symbols.
+
+The batch :func:`repro.bist.measurements.measure_evm` demodulates one whole
+reconstructed burst.  A streaming monitor instead sees the complex envelope
+one measurement window at a time, and each window must be demodulated
+*standalone* — using only its own samples — so the resulting EVM is
+invariant to how the stream was partitioned into ingest blocks.
+
+The demodulation mirrors the batch path symbol for symbol: matched filter
+with the transmitter's own SRRC taps, band-limited (sinc) interpolation at
+the known symbol instants, least-squares complex-gain alignment onto the
+reference constellation, RMS EVM.  Window edges corrupted by the matched
+filter and interpolator transients are excluded via a guard margin, so only
+symbols the window can demodulate cleanly contribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.interpolation import sinc_interpolate
+from ..dsp.metrics import error_vector_magnitude
+from ..errors import ValidationError
+from ..utils.validation import check_1d_array, check_integer, check_positive
+
+__all__ = ["SymbolReference", "windowed_evm"]
+
+#: Interpolator taps (matches the batch EVM path).
+_INTERPOLATION_TAPS = 32
+
+
+@dataclass(frozen=True)
+class SymbolReference:
+    """What the monitor must know to demodulate a window: the sent data.
+
+    Attributes
+    ----------
+    symbols:
+        The transmitted constellation symbols (complex), symbol ``n`` at
+        time ``start_time + n / symbol_rate_hz``.
+    symbol_rate_hz:
+        Symbol rate of the stream under monitor.
+    pulse_taps:
+        The transmitter's pulse-shaping (SRRC) taps at the envelope rate;
+        the monitor matched-filters each window with their conjugate.
+    start_time:
+        Stream time of symbol 0 (seconds).
+    """
+
+    symbols: np.ndarray
+    symbol_rate_hz: float
+    pulse_taps: np.ndarray
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "symbols", check_1d_array(self.symbols, "symbols", dtype=complex)
+        )
+        object.__setattr__(
+            self, "pulse_taps", check_1d_array(self.pulse_taps, "pulse_taps")
+        )
+        check_positive(self.symbol_rate_hz, "symbol_rate_hz")
+
+    @classmethod
+    def from_transmission(cls, burst) -> "SymbolReference":
+        """Build the reference from a :class:`~repro.transmitter.TransmissionResult`.
+
+        Only single-carrier bursts carry an SRRC reference the windowed
+        demodulator understands; OFDM bursts raise
+        :class:`~repro.errors.ValidationError` (their EVM needs whole-symbol
+        FFT demodulation — monitor those without EVM).
+        """
+        from ..bist.measurements import burst_pulse_taps
+
+        if burst.config.ofdm is not None:
+            raise ValidationError(
+                "windowed EVM supports single-carrier bursts only; OFDM windows "
+                "cannot be demodulated standalone (monitor without an EVM reference)"
+            )
+        return cls(
+            symbols=burst.symbols,
+            symbol_rate_hz=burst.config.symbol_rate_hz,
+            pulse_taps=burst_pulse_taps(burst),
+            start_time=float(burst.output_envelope.start_time),
+        )
+
+
+def windowed_evm(
+    envelope: np.ndarray,
+    sample_rate: float,
+    window_start_time: float,
+    reference: SymbolReference,
+    min_symbols: int = 16,
+) -> float | None:
+    """RMS EVM (percent) of one measurement window, or ``None``.
+
+    Parameters
+    ----------
+    envelope:
+        Complex-envelope samples of the window (uniform at ``sample_rate``).
+    sample_rate:
+        Envelope sample rate (Hz).
+    window_start_time:
+        Stream time of ``envelope[0]`` (seconds), on the same clock as
+        ``reference.start_time``.
+    reference:
+        The known transmitted symbols and pulse shape.
+    min_symbols:
+        Windows demodulating fewer clean symbols than this return ``None``
+        (too short / too close to the stream edges), which the drift
+        detector skips — a partial window must not masquerade as a
+        measurement.
+
+    Notes
+    -----
+    The EVM depends only on the window's own samples, never on neighbouring
+    windows, so it is bit-identical under any re-blocking of the stream that
+    preserves window boundaries.
+    """
+    envelope = check_1d_array(envelope, "envelope", dtype=complex)
+    sample_rate = check_positive(sample_rate, "sample_rate")
+    min_symbols = check_integer(min_symbols, "min_symbols", minimum=1)
+
+    taps = reference.pulse_taps
+    matched = np.convolve(envelope, np.conj(taps[::-1].astype(complex)))
+    group_delay = (taps.size - 1) // 2
+    matched = matched[group_delay : group_delay + envelope.size]
+
+    # Guard margin: half the matched filter span (its transient region at
+    # each window edge) plus the interpolator's half-width.
+    margin = (group_delay + _INTERPOLATION_TAPS) / sample_rate
+    window_end_time = window_start_time + (envelope.size - 1) / sample_rate
+    usable_low = window_start_time + margin
+    usable_high = window_end_time - margin
+    if usable_high <= usable_low:
+        return None
+
+    symbol_period = 1.0 / reference.symbol_rate_hz
+    first = int(np.ceil((usable_low - reference.start_time) / symbol_period))
+    last = int(np.floor((usable_high - reference.start_time) / symbol_period))
+    first = max(first, 0)
+    last = min(last, reference.symbols.size - 1)
+    if last - first + 1 < min_symbols:
+        return None
+
+    indices = np.arange(first, last + 1)
+    symbol_times = reference.start_time + indices * symbol_period
+    received = sinc_interpolate(
+        matched,
+        sample_rate,
+        symbol_times,
+        start_time=window_start_time,
+        num_taps=_INTERPOLATION_TAPS,
+    )
+    sent = reference.symbols[indices]
+
+    denominator = np.vdot(received, received)
+    if float(np.abs(denominator)) <= 0.0:
+        return None
+    gain = np.vdot(received, sent) / denominator
+    return float(error_vector_magnitude(sent, received * gain, as_percent=True))

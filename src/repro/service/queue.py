@@ -42,7 +42,16 @@ TERMINAL_STATES = ("done", "partial", "failed")
 
 @dataclass
 class Job:
-    """One submitted campaign and everything known about its progress."""
+    """One submitted campaign and everything known about its progress.
+
+    Timekeeping is split by purpose: ``submitted_at`` / ``started_at`` /
+    ``finished_at`` are wall-clock stamps (``time.time()``) kept **for
+    display only** — the system clock can step (NTP slew, manual adjustment,
+    suspend/resume), so differences between them are not durations.  Every
+    duration (queue latency, execution time) is derived from
+    ``time.monotonic()`` stamps and therefore can never go negative across a
+    clock step.
+    """
 
     job_id: str
     spec: CampaignSpec
@@ -54,7 +63,26 @@ class Job:
     result: ServiceExecution | None = None
     completed_scenarios: int = 0
     _enqueued_monotonic: float = field(default_factory=time.monotonic)
+    _started_monotonic: float | None = None
+    _finished_monotonic: float | None = None
     _queue_latency: float = 0.0
+
+    @property
+    def execution_seconds(self) -> float | None:
+        """Monotonic execution duration: dispatch → finish (or → now).
+
+        ``None`` while the job is still queued; for a running job this is
+        the live elapsed time.  Computed from monotonic stamps, never from
+        the wall-clock fields.
+        """
+        if self._started_monotonic is None:
+            return None
+        end = (
+            self._finished_monotonic
+            if self._finished_monotonic is not None
+            else time.monotonic()
+        )
+        return max(0.0, end - self._started_monotonic)
 
     def status(self) -> dict:
         """JSON-friendly status snapshot (what ``GET /jobs/<id>`` returns)."""
@@ -68,6 +96,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "queue_latency_seconds": self._queue_latency,
+            "execution_seconds": self.execution_seconds,
             "error": self.error,
         }
         if self.result is not None:
@@ -242,8 +271,9 @@ class JobQueue:
 
     async def _execute(self, job: Job) -> None:
         job.state = "running"
-        job.started_at = time.time()
-        job._queue_latency = time.monotonic() - job._enqueued_monotonic
+        job.started_at = time.time()  # display only; durations below are monotonic
+        job._started_monotonic = time.monotonic()
+        job._queue_latency = job._started_monotonic - job._enqueued_monotonic
         coordinator = Coordinator.for_spec(
             job.spec,
             self._store_root,
@@ -264,7 +294,8 @@ class JobQueue:
             job.result = with_queue_latency(execution, job._queue_latency)
             job.completed_scenarios = len(execution.execution.outcomes)
             job.state = "partial" if execution.execution.errors else "done"
-        job.finished_at = time.time()
+        job.finished_at = time.time()  # display only
+        job._finished_monotonic = time.monotonic()
 
     def _on_progress(self, job: Job) -> None:
         # Called from the executor thread; a bare int increment is atomic

@@ -47,6 +47,12 @@ class WorkerStats:
     cache_hits: int = 0
     busy_seconds: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Durations are clamped at zero: a stat rebuilt from an archive
+        # written by a pre-monotonic library version (wall-clock deltas can
+        # go negative across clock steps) must not poison derived rates.
+        object.__setattr__(self, "busy_seconds", max(0.0, float(self.busy_seconds)))
+
     @property
     def throughput_per_second(self) -> float:
         """Executed scenarios per busy second (0.0 when idle)."""
@@ -130,6 +136,16 @@ class ServiceStats:
     execution_seconds: float = 0.0
     serial_equivalent_seconds: float = 0.0
     workers: tuple = ()
+
+    def __post_init__(self) -> None:
+        # Same clamp as WorkerStats: durations from old wall-clock archives
+        # may be negative across a clock step; derived rates must stay ≥ 0.
+        for name in (
+            "queue_latency_seconds",
+            "execution_seconds",
+            "serial_equivalent_seconds",
+        ):
+            object.__setattr__(self, name, max(0.0, float(getattr(self, name))))
 
     @property
     def cache_hits(self) -> int:

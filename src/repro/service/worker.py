@@ -17,6 +17,13 @@ with self-describing message tuples:
 ``("heartbeat", worker_id, timestamp)``
     Sent by a daemon thread every ``heartbeat_interval`` seconds; the
     coordinator treats a silent worker as dead and re-queues its partition.
+
+The ``timestamp`` fields in ``started`` / ``heartbeat`` messages are wall
+clock (``time.time()``) and **display/log-only**: worker and coordinator
+run in different processes, so comparing their clocks would be meaningless
+even without NTP steps.  Liveness is decided entirely on the coordinator's
+side, from its own ``time.monotonic()`` stamp taken when each message is
+*received* (see :meth:`~repro.service.coordinator.Coordinator`).
 ``("outcome", worker_id, partition_id, outcome_dict)``
     One per completed scenario (archived form of
     :class:`~repro.bist.runner.ScenarioOutcome`), emitted incrementally so

@@ -22,7 +22,13 @@ Execution integrates through the ``store=`` hook of
 :class:`repro.faults.injection.FaultCampaign`.
 """
 
-from .baseline import BaselineComparator, BaselineTolerances, DriftReport, MetricDrift
+from .baseline import (
+    BaselineComparator,
+    BaselineTolerances,
+    DriftReport,
+    MetricDrift,
+    report_metrics,
+)
 from .fingerprint import (
     SCHEMA_VERSION,
     canonical_json,
@@ -42,4 +48,5 @@ __all__ = [
     "BaselineTolerances",
     "DriftReport",
     "MetricDrift",
+    "report_metrics",
 ]

@@ -33,7 +33,13 @@ from ..bist.runner import CampaignExecution, ScenarioOutcome
 from ..errors import ValidationError
 from ..utils.serialization import field_dict, known_field_kwargs
 
-__all__ = ["BaselineTolerances", "MetricDrift", "DriftReport", "BaselineComparator"]
+__all__ = [
+    "BaselineTolerances",
+    "MetricDrift",
+    "DriftReport",
+    "BaselineComparator",
+    "report_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -154,8 +160,15 @@ class DriftReport:
         return "\n".join(lines)
 
 
-def _report_metrics(report: BistReport) -> dict:
-    """The gated metric values of one report (``None`` = not measured)."""
+def report_metrics(report: BistReport) -> dict:
+    """The gated metric values of one report (``None`` = not measured).
+
+    This is the shared metric vocabulary of the regression gate: the
+    one-shot :class:`BaselineComparator` diff and the continuous
+    :class:`repro.monitor.DriftDetector` score the same keys, so a metric
+    that drifts online is directly comparable to the same metric drifting
+    between stored campaign runs.
+    """
     try:
         mask_margin = report.check("spectral_mask").measured
     except ValidationError:
@@ -196,7 +209,15 @@ class BaselineComparator:
         """The active tolerance set."""
         return self._tolerances
 
-    def _metric_tolerance(self, metric: str, baseline_value: float) -> float:
+    def metric_tolerance(self, metric: str, baseline_value: float) -> float:
+        """Absolute tolerance of ``metric`` around ``baseline_value``.
+
+        ``output_power`` uses a relative tolerance (scaled by the baseline
+        magnitude); every other metric of :func:`report_metrics` maps to an
+        absolute field of :class:`BaselineTolerances`.  Public because the
+        streaming :class:`repro.monitor.DriftDetector` normalises its drift
+        scores with exactly this tolerance model.
+        """
         if metric == "output_power":
             return self._tolerances.output_power_rel * max(abs(baseline_value), 1e-12)
         return getattr(
@@ -215,8 +236,8 @@ class BaselineComparator:
         self, label: str, baseline: BistReport, current: BistReport
     ) -> list[MetricDrift]:
         entries = []
-        baseline_metrics = _report_metrics(baseline)
-        current_metrics = _report_metrics(current)
+        baseline_metrics = report_metrics(baseline)
+        current_metrics = report_metrics(current)
         for metric, baseline_value in baseline_metrics.items():
             current_value = current_metrics[metric]
             if baseline_value is None and current_value is None:
@@ -236,7 +257,7 @@ class BaselineComparator:
                     )
                 )
                 continue
-            tolerance = self._metric_tolerance(metric, baseline_value)
+            tolerance = self.metric_tolerance(metric, baseline_value)
             delta = current_value - baseline_value
             entries.append(
                 MetricDrift(

@@ -11,6 +11,7 @@ from repro.bist.report import (
     _SUMMARY_SECTIONS,
     _adaptive_section,
     _compiler_section,
+    _monitor_section,
     _service_section,
     _store_section,
     CampaignSummary,
@@ -23,6 +24,16 @@ SERVICE_PAYLOAD = {
     "queue_latency_seconds": 0.125,
     "execution_seconds": 2.5,
     "warm_hit_rate": 0.75,
+}
+
+MONITOR_PAYLOAD = {
+    "windows": 8,
+    "window_samples": 1024,
+    "samples_ingested": 8192,
+    "segments_accumulated": 63,
+    "alarms": 2,
+    "alarmed_metrics": ["output_power"],
+    "first_alarm_window": 5,
 }
 
 COMPILER_PAYLOAD = {
@@ -47,6 +58,7 @@ class TestSectionTable:
             _compiler_section,
             _adaptive_section,
             _service_section,
+            _monitor_section,
         )
 
     def test_bare_summary_renders_no_optional_sections(self):
@@ -57,6 +69,7 @@ class TestSectionTable:
         assert "campaign compiler:" not in text
         assert "adaptive efficiency:" not in text
         assert "campaign service:" not in text
+        assert "streaming monitor:" not in text
 
     def test_every_section_renders_when_its_source_is_present(self):
         summary = make_summary(
@@ -66,6 +79,7 @@ class TestSectionTable:
             compiler_stats=COMPILER_PAYLOAD,
             scenarios_saved_vs_grid=4.0,
             service=SERVICE_PAYLOAD,
+            monitor=MONITOR_PAYLOAD,
         )
         text = summary.to_text()
         lines = text.splitlines()
@@ -76,6 +90,7 @@ class TestSectionTable:
                 "campaign compiler:",
                 "adaptive efficiency:",
                 "campaign service:",
+                "streaming monitor:",
             )
         ]
         # Sections appear in table order, right after the headline.
@@ -137,3 +152,28 @@ class TestServiceSection:
         summary = make_summary(service=payload)
         payload["num_workers"] = 99
         assert summary.service["num_workers"] == 4
+
+
+class TestMonitorSection:
+    def test_renders_windows_and_alarms(self):
+        line = _monitor_section(make_summary(monitor=MONITOR_PAYLOAD))
+        assert line == (
+            "streaming monitor: 8 window(s) over 8192 sample(s) "
+            "(63 Welch segment(s)); 2 alarm(s) [output_power], first at window 5"
+        )
+
+    def test_quiet_session_renders_no_alarm_clause(self):
+        payload = dict(MONITOR_PAYLOAD, alarms=0, alarmed_metrics=[], first_alarm_window=None)
+        line = _monitor_section(make_summary(monitor=payload))
+        assert line.endswith("no drift alarms")
+
+    def test_batch_campaign_renders_nothing(self):
+        assert _monitor_section(make_summary()) is None
+
+    def test_monitor_dict_round_trips_through_to_dict(self):
+        summary = make_summary(monitor=MONITOR_PAYLOAD)
+        assert summary.to_dict()["monitor"] == MONITOR_PAYLOAD
+        payload = dict(MONITOR_PAYLOAD)
+        summary = make_summary(monitor=payload)
+        payload["alarms"] = 99
+        assert summary.monitor["alarms"] == 2

@@ -1,5 +1,7 @@
 """Tests for repro.dsp.spectrum."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -12,7 +14,7 @@ from repro.dsp import (
     total_power,
     welch_psd,
 )
-from repro.errors import MeasurementError, ValidationError
+from repro.errors import MeasurementError, MeasurementWarning, ValidationError
 
 
 RATE = 100e6
@@ -75,9 +77,27 @@ class TestWelch:
         expected = 2.0 / RATE
         assert np.median(estimate.psd) == pytest.approx(expected, rel=0.15)
 
-    def test_segment_longer_than_record_clipped(self):
-        estimate = welch_psd(make_tone(10e6, num=512), RATE, segment_length=4096)
+    def test_segment_longer_than_record_clipped_with_warning(self):
+        # The clamp degrades the estimate to a single periodogram; since the
+        # monitor accumulates estimates over hours, the degradation must be
+        # loud (MeasurementWarning), not silent.
+        with pytest.warns(MeasurementWarning, match="no variance reduction"):
+            estimate = welch_psd(make_tone(10e6, num=512), RATE, segment_length=4096)
         assert peak_frequency(estimate) == pytest.approx(10e6, abs=3 * estimate.resolution_hz)
+
+    def test_exact_fit_segment_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MeasurementWarning)
+            welch_psd(make_tone(10e6, num=512), RATE, segment_length=512)
+
+    def test_tail_samples_are_excluded(self):
+        # 1000 samples with 512-sample segments and 50% overlap: segments
+        # start at 0 and 256; the 232-sample tail does not contribute.
+        rng = np.random.default_rng(3)
+        noise = rng.normal(size=1000)
+        full = welch_psd(noise, RATE, segment_length=512)
+        trimmed = welch_psd(noise[: 256 + 512], RATE, segment_length=512)
+        np.testing.assert_array_equal(full.psd, trimmed.psd)
 
     def test_bad_overlap_rejected(self):
         with pytest.raises(ValidationError):
@@ -99,9 +119,41 @@ class TestBandPower:
         with pytest.raises(ValidationError):
             band_power(estimate, 13e6, 12e6)
 
-    def test_empty_band_is_zero(self):
+    def test_sub_resolution_band_uses_fractional_bin_coverage(self):
+        # Regression: a band narrower than the bin spacing used to integrate
+        # to exactly 0.0 (no bin centre inside it), silently under-reporting
+        # the power.  It must now receive the fractional rectangle coverage
+        # of the bin(s) it overlaps.
+        estimate = periodogram(make_tone(12.5e6, amplitude=2.0), RATE)
+        resolution = estimate.resolution_hz
+        # A band a tenth of a bin wide, centred between two bin centres near
+        # the tone, so no bin centre can fall inside it.
+        centre = 12.5e6 + resolution / 2.0
+        low, high = centre - resolution / 20.0, centre + resolution / 20.0
+        assert not np.any(
+            (estimate.frequencies_hz >= low) & (estimate.frequencies_hz <= high)
+        )
+        power = band_power(estimate, low, high)
+        assert power > 0.0
+        # Fractional coverage: a tenth of the two neighbouring rectangles.
+        index = int(np.searchsorted(estimate.frequencies_hz, centre))
+        expected = (high - low) / 2.0 * (
+            estimate.psd[index - 1] + estimate.psd[index]
+        )
+        assert power == pytest.approx(expected)
+
+    def test_sub_resolution_band_scales_with_width(self):
         estimate = periodogram(make_tone(12.5e6), RATE)
-        assert band_power(estimate, 49.9999e6, 49.99999e6) == 0.0
+        resolution = estimate.resolution_hz
+        centre = 12.5e6 + resolution / 2.0
+        narrow = band_power(estimate, centre - resolution / 40.0, centre + resolution / 40.0)
+        wide = band_power(estimate, centre - resolution / 20.0, centre + resolution / 20.0)
+        assert wide == pytest.approx(2.0 * narrow)
+
+    def test_band_outside_covered_span_is_zero(self):
+        estimate = periodogram(make_tone(12.5e6), RATE)
+        nyquist = estimate.frequencies_hz[-1]
+        assert band_power(estimate, nyquist + 1e6, nyquist + 2e6) == 0.0
 
 
 class TestOccupiedBandwidth:
@@ -138,6 +190,20 @@ class TestAcpr:
         assert result["worst_db"] == pytest.approx(result["upper_db"])
 
     def test_no_main_power_rejected(self):
+        # A main channel entirely outside the estimate's covered span has
+        # genuinely zero power (a narrow in-band channel now snaps to its
+        # bin rectangle instead — see TestBandPower).
         estimate = periodogram(make_tone(25e6), RATE)
         with pytest.raises(MeasurementError):
-            adjacent_channel_power_ratio(estimate, 45e6, 1e3, offset_hz=1e6)
+            adjacent_channel_power_ratio(estimate, 60e6, 1e3, offset_hz=1e6)
+
+    def test_narrow_channels_no_longer_read_zero_power(self):
+        # Regression companion of the sub-resolution band_power fix: ACPR
+        # over channels narrower than the bin spacing used to raise (main
+        # read as 0.0) even though the tone sits right there.
+        estimate = periodogram(make_tone(25e6), RATE)
+        resolution = estimate.resolution_hz
+        result = adjacent_channel_power_ratio(
+            estimate, 25e6 + resolution / 2.0, resolution / 10.0, offset_hz=5e6
+        )
+        assert result["worst_db"] < 0.0

@@ -1,0 +1,52 @@
+"""Engine integration: ``TransmitterBist.stream()`` drives the monitor.
+
+The streaming layer plugs into the batch BIST engine — the reconstructed
+envelope of one acquisition becomes the monitored stream — so the same
+loopback path the paper evaluates offline gates continuously too.
+"""
+
+import pytest
+
+from repro.bist import CampaignScenario, build_scenario_engine
+from repro.monitor import MonitorReport
+
+
+@pytest.fixture(scope="module")
+def engine_and_burst():
+    return build_scenario_engine(CampaignScenario(profile="paper-qpsk-1ghz"))
+
+
+class TestEngineStream:
+    def test_stream_returns_a_monitor_report(self, engine_and_burst):
+        engine, burst = engine_and_burst
+        report = engine.stream(burst)
+        assert isinstance(report, MonitorReport)
+        assert report.num_windows >= 1
+        assert report.samples_ingested > 0
+        # The windows carry real measurements of the reconstructed envelope.
+        assert all(window.output_power > 0.0 for window in report.windows)
+
+    def test_clean_acquisition_raises_no_alarms(self, engine_and_burst):
+        engine, burst = engine_and_burst
+        report = engine.stream(burst)
+        assert report.alarms == ()
+
+    def test_summary_feeds_the_campaign_report_section(self, engine_and_burst):
+        from repro.bist.report import CampaignSummary
+
+        engine, burst = engine_and_burst
+        report = engine.stream(burst)
+        summary = CampaignSummary.from_entries(
+            [], errors=[("s", "synthetic")], monitor=report.summary()
+        )
+        assert "streaming monitor:" in summary.to_text()
+        assert summary.to_dict()["monitor"]["windows"] == report.num_windows
+
+    def test_block_size_does_not_change_the_report(self, engine_and_burst):
+        # Acquisition noise makes every prepare() a fresh realisation, so the
+        # invariance claim needs one shared stage streamed twice.
+        engine, burst = engine_and_burst
+        stage = engine.prepare(burst)
+        small = engine.stream(block_samples=64, stage=stage)
+        large = engine.stream(block_samples=4096, stage=stage)
+        assert small.to_dict() == large.to_dict()

@@ -1,0 +1,81 @@
+"""CLI tests for ``python -m repro.monitor``: JSON log, exit codes, files."""
+
+import json
+
+import pytest
+
+from repro.monitor.cli import build_parser, main, run_session
+
+
+def run_main(capsys, *argv) -> tuple[int, dict]:
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, json.loads(out)
+
+
+BASE_ARGS = ("--num-symbols", "1024", "--warmup-windows", "3")
+
+
+class TestExitCodes:
+    def test_gain_drift_session_alarms_and_exits_zero(self, capsys):
+        code, log = run_main(capsys, *BASE_ARGS, "--drift", "gain")
+        assert code == 0
+        assert log["session"]["alarm_expected"] is True
+        assert log["session"]["outcome_consistent"] is True
+        assert log["summary"]["alarms"] >= 1
+
+    def test_clean_session_is_quiet_and_exits_zero(self, capsys):
+        code, log = run_main(capsys, *BASE_ARGS, "--drift", "none")
+        assert code == 0
+        assert log["session"]["alarm_expected"] is False
+        assert log["summary"]["alarms"] == 0
+
+    def test_noise_drift_session(self, capsys):
+        code, log = run_main(capsys, *BASE_ARGS, "--drift", "noise")
+        assert code == 0
+        assert log["summary"]["alarms"] >= 1
+
+    def test_unknown_profile_is_an_argparse_error(self):
+        with pytest.raises(SystemExit):
+            main(["--profile", "no-such-profile"])
+
+
+class TestLogShape:
+    def test_log_is_json_round_trippable_and_complete(self, capsys):
+        code, log = run_main(capsys, *BASE_ARGS)
+        assert code == 0
+        assert json.loads(json.dumps(log)) == log
+        for key in ("config", "windows", "alarms", "summary", "session"):
+            assert key in log
+        session = log["session"]
+        assert session["profile"] == "paper-qpsk-1ghz"
+        assert session["drift"] == "gain"
+        assert session["drift_onset_window"] * 1024 <= session["drift_onset_sample"]
+        # Alarms land after the injected onset.
+        for alarm in log["alarms"]:
+            assert alarm["window_index"] >= session["drift_onset_window"]
+
+    def test_summary_only_omits_windows(self, capsys):
+        code, log = run_main(capsys, *BASE_ARGS, "--summary-only")
+        assert code == 0
+        assert "windows" not in log
+        assert "summary" in log
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "log.json"
+        code = main([*BASE_ARGS, "--output", str(target)])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        log = json.loads(target.read_text())
+        assert log["session"]["outcome_consistent"] is True
+
+
+class TestRunSession:
+    def test_deterministic_for_a_fixed_seed(self):
+        args = build_parser().parse_args([*BASE_ARGS, "--seed", "7"])
+        assert run_session(args) == run_session(args)
+
+    def test_ewma_method_plumbs_through(self):
+        args = build_parser().parse_args([*BASE_ARGS, "--method", "ewma"])
+        log = run_session(args)
+        assert log["config"]["detector"]["method"] == "ewma"

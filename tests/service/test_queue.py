@@ -1,12 +1,15 @@
 """Tests for the asyncio job queue: lifecycle, isolation, drain, latency."""
 
 import asyncio
+import threading
+import time
 
 import pytest
 
 from repro.bist import BistConfig
 from repro.errors import JobNotFoundError, ServiceError
 from repro.service import CampaignSpec, JobQueue
+from repro.service.queue import Job
 
 FAST_CONFIG = BistConfig(
     num_samples_fast=128,
@@ -165,6 +168,67 @@ class TestDrain:
             assert stats["jobs"]["done"] == 1
             assert stats["num_workers"] == 1
             assert stats["mean_queue_latency_seconds"] >= 0.0
+            await queue.drain()
+
+        asyncio.run(scenario())
+
+
+class TestMonotonicDurations:
+    """Durations must come from the monotonic clock, never wall-clock deltas."""
+
+    def test_execution_seconds_uses_monotonic_stamps_not_wall(self):
+        job = Job(job_id="job-000001", spec=fast_spec())
+        assert job.execution_seconds is None  # still queued
+        job._started_monotonic = 100.0
+        job._finished_monotonic = 102.5
+        # Wall clock stepped backwards between dispatch and finish (NTP).
+        job.started_at = 2_000_000_000.0
+        job.finished_at = 1_000_000_000.0
+        assert job.execution_seconds == 2.5
+
+    def test_execution_seconds_clamped_at_zero(self):
+        job = Job(job_id="job-000001", spec=fast_spec())
+        job._started_monotonic = 100.0
+        job._finished_monotonic = 99.0  # impossible in practice; clamp anyway
+        assert job.execution_seconds == 0.0
+
+    def test_running_job_reports_live_elapsed(self):
+        job = Job(job_id="job-000001", spec=fast_spec())
+        job._started_monotonic = time.monotonic() - 1.0
+        assert job.execution_seconds >= 1.0
+
+    def test_wall_clock_stepping_backwards_cannot_poison_durations(
+        self, tmp_path, monkeypatch
+    ):
+        # Every time.time() call returns an *earlier* value than the last, so
+        # any duration derived from wall-clock deltas would be negative.  The
+        # child worker processes are spawned unpatched, which is fine: their
+        # timestamps are display-only payload.
+        lock = threading.Lock()
+        state = {"now": 1_000_000_000.0}
+
+        def stepping_backwards():
+            with lock:
+                state["now"] -= 100.0
+                return state["now"]
+
+        monkeypatch.setattr(time, "time", stepping_backwards)
+
+        async def scenario():
+            queue = JobQueue(tmp_path / "store", num_workers=1)
+            job_id = queue.submit(fast_spec())
+            status = await wait_terminal(queue, job_id)
+            assert status["state"] == "done"
+            # The wall stamps really did run backwards...
+            assert status["finished_at"] < status["started_at"]
+            # ...yet every duration stayed non-negative.
+            assert status["queue_latency_seconds"] >= 0.0
+            assert status["execution_seconds"] >= 0.0
+            stats = status["stats"]
+            assert stats["queue_latency_seconds"] >= 0.0
+            assert stats["execution_seconds"] >= 0.0
+            assert stats["scaling_efficiency"] >= 0.0
+            assert queue.service_stats()["mean_queue_latency_seconds"] >= 0.0
             await queue.drain()
 
         asyncio.run(scenario())

@@ -19,6 +19,13 @@ class TestWorkerStats:
         rebuilt = WorkerStats.from_dict(worker.to_dict())
         assert rebuilt == worker
 
+    def test_negative_busy_seconds_clamped(self):
+        # Archives written by pre-monotonic versions can carry negative
+        # wall-clock deltas; they must not produce negative rates.
+        worker = WorkerStats("worker-000", executed=4, busy_seconds=-1.5)
+        assert worker.busy_seconds == 0.0
+        assert worker.throughput_per_second == 0.0
+
 
 class TestServiceStats:
     def make(self, **overrides) -> ServiceStats:
@@ -61,6 +68,26 @@ class TestServiceStats:
         assert payload["cache_hits"] == 4
         assert payload["warm_hit_rate"] == 0.4
         assert payload["scaling_efficiency"] == 3.0
+
+    def test_negative_durations_clamped(self):
+        stats = self.make(
+            queue_latency_seconds=-0.5,
+            execution_seconds=-2.0,
+            serial_equivalent_seconds=-6.0,
+        )
+        assert stats.queue_latency_seconds == 0.0
+        assert stats.execution_seconds == 0.0
+        assert stats.serial_equivalent_seconds == 0.0
+        assert stats.scaling_efficiency == 0.0
+
+    def test_clamp_applies_when_rebuilding_old_archives(self):
+        payload = self.make().to_dict()
+        payload["execution_seconds"] = -3.0
+        payload["workers"][0]["busy_seconds"] = -1.0
+        rebuilt = ServiceStats.from_dict(payload)
+        assert rebuilt.execution_seconds == 0.0
+        assert rebuilt.workers[0].busy_seconds == 0.0
+        assert rebuilt.scaling_efficiency == 0.0
 
     def test_to_text_mentions_every_axis(self):
         text = self.make().to_text()
