@@ -1,5 +1,16 @@
-"""Converter models: quantizer, sample-and-hold, channel mismatch, BP-TIADC."""
+"""Converter models: quantizer, sample-and-hold, channel mismatch, BP-TIADC,
+and the acquisition-source seam for hardware-in-the-loop captures."""
 
+from .acquisition import (
+    AcquisitionCapture,
+    AcquisitionMetadata,
+    AcquisitionSource,
+    CaptureRecord,
+    CapturedSamplesSource,
+    RecordingSource,
+    SimulatedTiadcSource,
+    as_acquisition_source,
+)
 from .adc import AdcChannel
 from .mismatch import ChannelMismatch
 from .quantizer import UniformQuantizer, ideal_quantizer_snr_db
@@ -15,4 +26,12 @@ __all__ = [
     "BpTiadc",
     "DigitallyControlledDelayElement",
     "TimeInterleavedAdc",
+    "AcquisitionSource",
+    "AcquisitionMetadata",
+    "AcquisitionCapture",
+    "CaptureRecord",
+    "CapturedSamplesSource",
+    "RecordingSource",
+    "SimulatedTiadcSource",
+    "as_acquisition_source",
 ]

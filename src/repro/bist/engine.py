@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..adc.acquisition import AcquisitionSource, as_acquisition_source
 from ..adc.tiadc import BpTiadc
 from ..calibration.cost import SkewCostFunction, select_slow_sample_rate
 from ..calibration.gain_offset import correct_gain_offset
@@ -168,8 +169,13 @@ class TransmitterBist:
     transmitter:
         The behavioural transmitter under test.
     converter:
-        The BP-TIADC built from the receiver's I/Q ADCs.  Its per-channel
-        rate must equal the BIST configuration's acquisition bandwidth.
+        The acquisition front end: either the BP-TIADC built from the
+        receiver's I/Q ADCs (wrapped transparently in a
+        :class:`~repro.adc.acquisition.SimulatedTiadcSource`) or any other
+        :class:`~repro.adc.acquisition.AcquisitionSource` — e.g. a
+        :class:`~repro.adc.acquisition.CapturedSamplesSource` replaying
+        recorded IQ from real hardware.  Its per-channel rate must equal
+        the BIST configuration's acquisition bandwidth.
     profile:
         The waveform profile whose limits the measurements are checked
         against; defaults to the profile matching the paper's setup.
@@ -187,15 +193,14 @@ class TransmitterBist:
     def __init__(
         self,
         transmitter: HomodyneTransmitter,
-        converter: BpTiadc,
+        converter: BpTiadc | AcquisitionSource,
         profile: WaveformProfile | str | None = None,
         config: BistConfig | None = None,
         plan_structure_cache: PlanStructureCache | None = None,
     ) -> None:
         if not isinstance(transmitter, HomodyneTransmitter):
             raise ValidationError("transmitter must be a HomodyneTransmitter")
-        if not isinstance(converter, BpTiadc):
-            raise ValidationError("converter must be a BpTiadc")
+        converter = as_acquisition_source(converter)
         self._config = config if config is not None else BistConfig()
         if not np.isclose(converter.sample_rate, self._config.acquisition_bandwidth_hz):
             raise ConfigurationError(
@@ -234,6 +239,11 @@ class TransmitterBist:
     def band(self) -> BandpassBand:
         """The acquisition band around the transmitter carrier."""
         return self._band
+
+    @property
+    def acquisition_source(self) -> AcquisitionSource:
+        """The acquisition source the engine drives (e.g. for capture access)."""
+        return self._converter
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -357,6 +367,7 @@ class TransmitterBist:
             ChannelSpec,
             DriftDetectorConfig,
             MonitorConfig,
+            OfdmSymbolReference,
             StreamingMonitor,
             SymbolReference,
             iter_blocks,
@@ -378,6 +389,17 @@ class TransmitterBist:
         )
         if window_samples is None:
             window_samples = max(64, envelope.size // 8)
+            if config.measure_evm_enabled and stage.burst.config.ofdm is not None:
+                # An OFDM window only yields an EVM when it holds whole OFDM
+                # symbols plus the interpolation guards; widen the default so
+                # short paper-style acquisitions still measure a few symbols.
+                span = (
+                    stage.burst.config.ofdm.symbol_length
+                    * stage.burst.config.samples_per_symbol
+                )
+                window_samples = max(
+                    window_samples, min(envelope.size, 3 * span + 64)
+                )
         if segment_length is None:
             segment_length = max(8, min(int(window_samples) // 4, 256))
         profile = self._profile
@@ -394,8 +416,11 @@ class TransmitterBist:
             start_time=float(times[0]),
         )
         reference = None
-        if config.measure_evm_enabled and stage.burst.config.ofdm is None:
-            reference = SymbolReference.from_transmission(stage.burst)
+        if config.measure_evm_enabled:
+            if stage.burst.config.ofdm is None:
+                reference = SymbolReference.from_transmission(stage.burst)
+            else:
+                reference = OfdmSymbolReference.from_transmission(stage.burst)
         monitor = StreamingMonitor(monitor_config, reference=reference, baseline=baseline)
         monitor.ingest_stream(iter_blocks(envelope, block_samples))
         return monitor.report()

@@ -23,6 +23,7 @@ __all__ = [
     "BistReport",
     "ProfileSummary",
     "CampaignSummary",
+    "check_margin",
 ]
 
 
@@ -272,7 +273,7 @@ class BistReport:
         )
 
 
-def _check_margin(report: BistReport, name: str) -> float | None:
+def check_margin(report: BistReport, name: str) -> float | None:
     """Pass margin of one check (positive = headroom, negative = violation).
 
     For limit-bounded checks (ACPR, OBW, EVM) the margin is ``limit -
@@ -290,6 +291,10 @@ def _check_margin(report: BistReport, name: str) -> float | None:
     if check.limit is None:
         return None
     return float(check.limit - check.measured)
+
+
+#: Backward-compatible private alias (the helper predates its public export).
+_check_margin = check_margin
 
 
 def _stats(values: list) -> tuple:
@@ -396,6 +401,23 @@ def _monitor_section(summary: "CampaignSummary") -> str | None:
     )
 
 
+def _channel_matrix_section(summary: "CampaignSummary") -> str | None:
+    """TX×RX verdict of a MIMO channel-matrix campaign."""
+    if summary.channel_matrix is None:
+        return None
+    stats = summary.channel_matrix
+    combinations = stats.get("combinations") or []
+    failed = [combo["label"] for combo in combinations if not combo.get("passed")]
+    if failed:
+        verdict = f"FAIL at {', '.join(failed)}"
+    else:
+        verdict = "all combinations passed"
+    return (
+        f"channel matrix: {stats.get('num_tx', 0)} TX x {stats.get('num_rx', 0)} RX "
+        f"({len(combinations)} combination(s)); {verdict}"
+    )
+
+
 #: Optional summary sections, rendered in this order between the headline
 #: and the per-profile table.  Each renderer returns its line, or ``None``
 #: when the campaign did not exercise that subsystem — adding a metric
@@ -408,6 +430,7 @@ _SUMMARY_SECTIONS = (
     _adaptive_section,
     _service_section,
     _monitor_section,
+    _channel_matrix_section,
 )
 
 
@@ -453,6 +476,10 @@ class CampaignSummary:
     #: alarm count/metrics, first alarm window); ``None`` for purely batch
     #: campaigns.
     monitor: dict | None = None
+    #: MIMO channel-matrix statistics (``ChannelMatrixReport.summary()``)
+    #: when the campaign ran a TX×RX matrix: per-combination verdict, output
+    #: power and worst margin; ``None`` for single-channel campaigns.
+    channel_matrix: dict | None = None
 
     @classmethod
     def from_entries(
@@ -466,6 +493,7 @@ class CampaignSummary:
         scenarios_saved_vs_grid: float | None = None,
         service: dict | None = None,
         monitor: dict | None = None,
+        channel_matrix: dict | None = None,
     ) -> "CampaignSummary":
         """Aggregate ``(label, report)`` pairs and ``(label, error)`` pairs."""
         entries = list(entries)
@@ -530,6 +558,7 @@ class CampaignSummary:
             ),
             service=(None if service is None else dict(service)),
             monitor=(None if monitor is None else dict(monitor)),
+            channel_matrix=(None if channel_matrix is None else dict(channel_matrix)),
         )
 
     @property
@@ -601,6 +630,7 @@ class CampaignSummary:
             "scenarios_saved_vs_grid": self.scenarios_saved_vs_grid,
             "service": self.service,
             "monitor": self.monitor,
+            "channel_matrix": self.channel_matrix,
             "mean_skew_error_ps": self.mean_skew_error_ps,
             "max_skew_error_ps": self.max_skew_error_ps,
             "profiles": {

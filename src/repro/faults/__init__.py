@@ -51,6 +51,7 @@ from .coverage import (
 from .injection import REFERENCE_FAMILY, FaultCampaign, FaultCampaignResult, FaultPoint
 from .models import (
     FAULT_FAMILIES,
+    ChannelSpreadFault,
     DacResolutionFault,
     DcdeErrorFault,
     FaultModel,
@@ -59,9 +60,11 @@ from .models import (
     LoLeakageFault,
     PaCompressionFault,
     PhaseNoiseFault,
+    SharedLoCorrelationFault,
     TiadcBandwidthFault,
     TiadcMismatchFault,
     TiadcSkewFault,
+    TxLeakageFault,
     fault_grid,
     get_fault_family,
     list_fault_families,
@@ -86,6 +89,9 @@ __all__ = [
     "TiadcMismatchFault",
     "TiadcBandwidthFault",
     "DcdeErrorFault",
+    "TxLeakageFault",
+    "SharedLoCorrelationFault",
+    "ChannelSpreadFault",
     "FaultCampaign",
     "FaultCampaignResult",
     "FaultPoint",

@@ -16,8 +16,12 @@ itself into the campaign data model:
 * :meth:`FaultModel.apply_converter` patches a
   :class:`~repro.bist.campaign.ConverterSpec` (acquisition-side faults:
   TIADC skew / gain / offset / bandwidth mismatch, DCDE error);
-* :meth:`FaultModel.apply_scenario` injects both into a base
-  :class:`~repro.bist.campaign.CampaignScenario`.
+* :meth:`FaultModel.apply_mimo` patches a
+  :class:`~repro.mimo.transmitter.MimoSpec` (cross-channel faults of a
+  multi-chain front end: TX-to-TX leakage, shared-LO phase-noise
+  correlation, per-channel gain/skew spread);
+* :meth:`FaultModel.apply_scenario` injects both single-channel sides into
+  a base :class:`~repro.bist.campaign.CampaignScenario`.
 
 Families register themselves in :data:`FAULT_FAMILIES` via
 :func:`register_fault`, so campaigns can be described by family name plus a
@@ -58,6 +62,9 @@ __all__ = [
     "TiadcMismatchFault",
     "TiadcBandwidthFault",
     "DcdeErrorFault",
+    "TxLeakageFault",
+    "SharedLoCorrelationFault",
+    "ChannelSpreadFault",
 ]
 
 
@@ -111,6 +118,16 @@ class FaultModel(ABC):
 
     def apply_converter(self, spec: ConverterSpec) -> ConverterSpec:
         """Inject the acquisition-side effect (identity for transmitter faults)."""
+        return spec
+
+    def apply_mimo(self, spec):
+        """Inject the cross-channel effect into a MIMO coupling spec.
+
+        ``spec`` is a :class:`~repro.mimo.transmitter.MimoSpec`; the default
+        is the identity (single-channel faults leave the coupling alone).
+        Implementations patch the spec with :func:`dataclasses.replace` so
+        this module never needs to import :mod:`repro.mimo`.
+        """
         return spec
 
     def for_profile(self, profile: WaveformProfile) -> "FaultModel":
@@ -515,3 +532,103 @@ class DcdeErrorFault(FaultModel):
 
     def apply_converter(self, spec: ConverterSpec) -> ConverterSpec:
         return replace(spec, dcde_static_error_seconds=self.static_error_seconds)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-channel (MIMO) families
+# --------------------------------------------------------------------------- #
+@register_fault
+@dataclass(frozen=True)
+class TxLeakageFault(FaultModel):
+    """TX-to-TX leakage: finite isolation between the chains of a 2T2R die.
+
+    Severity interpolates the coupling magnitude from ``floor_db`` (isolation
+    so deep the leakage vanishes in the noise) up to ``worst_coupling_db``.
+    Primary signature: ACPR/mask margins of the *victim* chain, since the
+    aggressor's spectrum lands inside and beside the victim's channel.
+    """
+
+    family: ClassVar[str] = "tx-leakage"
+
+    floor_db: float = -70.0
+    worst_coupling_db: float = -12.0
+    phase_deg: float = 0.0
+
+    @property
+    def coupling_db(self) -> float:
+        """Coupling magnitude at this severity (dB)."""
+        return _lerp(self.floor_db, self.worst_coupling_db, self.severity)
+
+    def apply_mimo(self, spec):
+        if self.severity == 0.0:
+            return spec
+        return replace(
+            spec, tx_leakage_db=self.coupling_db, tx_leakage_phase_deg=self.phase_deg
+        )
+
+
+@register_fault
+@dataclass(frozen=True)
+class SharedLoCorrelationFault(FaultModel):
+    """Shared-LO phase noise: one degraded oscillator jitters every chain.
+
+    Severity scales both the correlation (how much of the common realisation
+    each chain sees) and the shared oscillator's linewidth.  Primary
+    signature: EVM on *every* combination simultaneously — the tell that
+    distinguishes a common-LO defect from a per-chain one.
+    """
+
+    family: ClassVar[str] = "shared-lo"
+
+    max_correlation: float = 1.0
+    max_linewidth_hz: float = 80.0e3
+
+    @property
+    def correlation(self) -> float:
+        return self.severity * self.max_correlation
+
+    @property
+    def linewidth_hz(self) -> float:
+        return self.severity * self.max_linewidth_hz
+
+    def apply_mimo(self, spec):
+        if self.severity == 0.0:
+            return spec
+        return replace(
+            spec,
+            shared_lo_correlation=self.correlation,
+            shared_lo_linewidth_hz=self.linewidth_hz,
+        )
+
+
+@register_fault
+@dataclass(frozen=True)
+class ChannelSpreadFault(FaultModel):
+    """Per-channel gain/skew spread across the chains (process mismatch).
+
+    Severity scales the peak-to-peak gain and timing spreads applied
+    symmetrically across the chains.  Primary signatures: per-combination
+    output-power imbalance in the channel matrix, and skew-estimate spread.
+    """
+
+    family: ClassVar[str] = "channel-spread"
+
+    max_gain_spread_db: float = 6.0
+    max_skew_spread_seconds: float = 80.0e-12
+
+    @property
+    def gain_spread_db(self) -> float:
+        return self.severity * self.max_gain_spread_db
+
+    @property
+    def skew_spread_seconds(self) -> float:
+        return self.severity * self.max_skew_spread_seconds
+
+    def apply_mimo(self, spec):
+        if self.severity == 0.0:
+            return spec
+        return replace(
+            spec,
+            gain_spread_db=self.gain_spread_db,
+            skew_spread_seconds=self.skew_spread_seconds,
+        )

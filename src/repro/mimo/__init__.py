@@ -1,0 +1,28 @@
+"""MIMO (multi-chain) transmitter BIST: 2T2R channel-matrix verdicts.
+
+The package generalises the single transmitter/converter pair to a TX×RX
+matrix: :class:`MimoTransmitter` couples N homodyne chains through a
+:class:`MimoSpec` (TX-to-TX leakage, shared-LO phase-noise correlation,
+per-channel gain/skew spread), and :func:`run_channel_matrix` runs the full
+BIST per combination into a :class:`ChannelMatrixReport` — the simulation
+counterpart of a hardware bring-up's TX1/RX1…TX2/RX2 table.
+"""
+
+from .matrix import (
+    ChannelMatrixEntry,
+    ChannelMatrixReport,
+    derive_matrix_seed,
+    run_channel_matrix,
+)
+from .transmitter import MimoSpec, MimoTransmission, MimoTransmitter, derive_chain_seed
+
+__all__ = [
+    "MimoSpec",
+    "MimoTransmission",
+    "MimoTransmitter",
+    "derive_chain_seed",
+    "ChannelMatrixEntry",
+    "ChannelMatrixReport",
+    "derive_matrix_seed",
+    "run_channel_matrix",
+]

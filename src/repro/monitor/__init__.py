@@ -31,7 +31,7 @@ calibrated reconstruction.
 from .accumulator import StreamingAccumulator
 from .detector import MONITORED_METRICS, DriftAlarm, DriftDetector, DriftDetectorConfig
 from .drift import apply_gain_drift, apply_noise_drift, gain_drift_profile
-from .evm import SymbolReference, windowed_evm
+from .evm import OfdmSymbolReference, SymbolReference, windowed_evm, windowed_ofdm_evm
 from .monitor import (
     ChannelSpec,
     MonitorConfig,
@@ -51,7 +51,9 @@ __all__ = [
     "apply_noise_drift",
     "gain_drift_profile",
     "SymbolReference",
+    "OfdmSymbolReference",
     "windowed_evm",
+    "windowed_ofdm_evm",
     "ChannelSpec",
     "MonitorConfig",
     "MonitorReport",

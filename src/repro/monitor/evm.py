@@ -12,6 +12,15 @@ the known symbol instants, least-squares complex-gain alignment onto the
 reference constellation, RMS EVM.  Window edges corrupted by the matched
 filter and interpolator transients are excluded via a guard margin, so only
 symbols the window can demodulate cleanly contribute.
+
+OFDM streams get the same treatment through :class:`OfdmSymbolReference`
+and :func:`windowed_ofdm_evm`: every OFDM symbol that falls *whole* inside
+the window (with an interpolation guard) is band-limit resampled onto its
+exact sample grid and demodulated with the synchronized
+:class:`~repro.signals.ofdm.OfdmDemodulator` — the same path the batch
+:func:`~repro.bist.measurements.measure_ofdm_evm` uses — then compared
+against the known transmitted grid.  Windows too short for a whole symbol
+return ``None`` with an explicit reason instead of silently dropping EVM.
 """
 
 from __future__ import annotations
@@ -22,10 +31,15 @@ import numpy as np
 
 from ..dsp.interpolation import sinc_interpolate
 from ..dsp.metrics import error_vector_magnitude
-from ..errors import ValidationError
+from ..errors import MeasurementError, ValidationError
 from ..utils.validation import check_1d_array, check_integer, check_positive
 
-__all__ = ["SymbolReference", "windowed_evm"]
+__all__ = [
+    "SymbolReference",
+    "OfdmSymbolReference",
+    "windowed_evm",
+    "windowed_ofdm_evm",
+]
 
 #: Interpolator taps (matches the batch EVM path).
 _INTERPOLATION_TAPS = 32
@@ -69,20 +83,87 @@ class SymbolReference:
 
         Only single-carrier bursts carry an SRRC reference the windowed
         demodulator understands; OFDM bursts raise
-        :class:`~repro.errors.ValidationError` (their EVM needs whole-symbol
-        FFT demodulation — monitor those without EVM).
+        :class:`~repro.errors.ValidationError` (use
+        :meth:`OfdmSymbolReference.from_transmission` for those).
         """
         from ..bist.measurements import burst_pulse_taps
 
         if burst.config.ofdm is not None:
             raise ValidationError(
-                "windowed EVM supports single-carrier bursts only; OFDM windows "
-                "cannot be demodulated standalone (monitor without an EVM reference)"
+                "SymbolReference supports single-carrier bursts only; build an "
+                "OfdmSymbolReference for OFDM streams instead"
             )
         return cls(
             symbols=burst.symbols,
             symbol_rate_hz=burst.config.symbol_rate_hz,
             pulse_taps=burst_pulse_taps(burst),
+            start_time=float(burst.output_envelope.start_time),
+        )
+
+
+@dataclass(frozen=True)
+class OfdmSymbolReference:
+    """What the monitor must know to demodulate whole OFDM symbols.
+
+    Attributes
+    ----------
+    reference_grid:
+        The transmitted used-subcarrier grid, ``(num_symbols, used)``
+        complex (data plus the fixed pilot comb) — see
+        :func:`~repro.signals.ofdm.build_used_grid`.
+    params:
+        The OFDM waveform parameters.
+    oversampling:
+        Envelope samples per critical sample (the transmitter's
+        ``samples_per_symbol``), so one OFDM symbol spans
+        ``params.symbol_length * oversampling`` envelope samples.
+    start_time:
+        Stream time of the first sample of symbol 0's cyclic prefix.
+    """
+
+    reference_grid: np.ndarray
+    params: object
+    oversampling: int = 1
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        from ..signals.ofdm import OfdmParams
+
+        if not isinstance(self.params, OfdmParams):
+            raise ValidationError("params must be an OfdmParams")
+        grid = np.asarray(self.reference_grid, dtype=complex)
+        if grid.ndim != 2 or grid.shape[1] != self.params.num_subcarriers:
+            raise ValidationError(
+                "reference_grid must be (num_symbols, num_subcarriers) complex"
+            )
+        object.__setattr__(self, "reference_grid", grid)
+        check_integer(self.oversampling, "oversampling", minimum=1)
+
+    @property
+    def num_symbols(self) -> int:
+        """Total transmitted OFDM symbols."""
+        return int(self.reference_grid.shape[0])
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Envelope samples per OFDM symbol (CP included)."""
+        return self.params.symbol_length * self.oversampling
+
+    @classmethod
+    def from_transmission(cls, burst) -> "OfdmSymbolReference":
+        """Build the reference from an OFDM :class:`~repro.transmitter.TransmissionResult`."""
+        from ..signals.ofdm import build_used_grid
+
+        params = burst.config.ofdm
+        if params is None:
+            raise ValidationError(
+                "OfdmSymbolReference needs an OFDM burst (config.ofdm is None); "
+                "use SymbolReference for single-carrier streams"
+            )
+        return cls(
+            reference_grid=build_used_grid(params, burst.symbols),
+            params=params,
+            oversampling=burst.config.samples_per_symbol,
             start_time=float(burst.output_envelope.start_time),
         )
 
@@ -161,3 +242,76 @@ def windowed_evm(
         return None
     gain = np.vdot(received, sent) / denominator
     return float(error_vector_magnitude(sent, received * gain, as_percent=True))
+
+
+def windowed_ofdm_evm(
+    envelope: np.ndarray,
+    sample_rate: float,
+    window_start_time: float,
+    reference: OfdmSymbolReference,
+    min_symbols: int = 2,
+) -> tuple:
+    """``(evm_percent, skipped_reason)`` of one window of an OFDM stream.
+
+    Every OFDM symbol falling *whole* inside the window (with an
+    interpolation guard at each edge) is band-limit resampled onto its exact
+    sample grid and demodulated through the synchronized
+    :class:`~repro.signals.ofdm.OfdmDemodulator` — the batch
+    :func:`~repro.bist.measurements.measure_ofdm_evm` path — then compared
+    against the transmitted grid after least-squares gain alignment.
+
+    Exactly one of the returned pair is ``None``: on success the reason is
+    ``None``, otherwise the EVM is ``None`` and the reason says why the
+    window could not be demodulated (too few whole symbols, zero power, …).
+    Only the window's own samples are used, so the result is invariant
+    under re-blocking of the stream.
+    """
+    from ..signals.ofdm import OfdmDemodulator, ofdm_grid_metrics
+
+    envelope = check_1d_array(envelope, "envelope", dtype=complex)
+    sample_rate = check_positive(sample_rate, "sample_rate")
+    min_symbols = check_integer(min_symbols, "min_symbols", minimum=2)
+
+    params = reference.params
+    samples_per_symbol = reference.samples_per_symbol
+    symbol_duration = samples_per_symbol / sample_rate
+    margin = _INTERPOLATION_TAPS / sample_rate
+    window_end_time = window_start_time + (envelope.size - 1) / sample_rate
+    usable_low = window_start_time + margin
+    usable_high = window_end_time - margin
+
+    # Symbol k occupies [start + k*T, start + (k+1)*T); keep whole symbols.
+    first = int(np.ceil((usable_low - reference.start_time) / symbol_duration))
+    last = int(np.floor((usable_high - reference.start_time) / symbol_duration)) - 1
+    first = max(first, 0)
+    last = min(last, reference.num_symbols - 1)
+    count = last - first + 1
+    if count < min_symbols:
+        return None, (
+            f"window covers {max(count, 0)} whole OFDM symbol(s) after edge "
+            f"guards; at least {min_symbols} needed"
+        )
+
+    grid_times = (
+        reference.start_time
+        + first * symbol_duration
+        + np.arange(count * samples_per_symbol) / sample_rate
+    )
+    stream = sinc_interpolate(
+        envelope,
+        sample_rate,
+        grid_times,
+        start_time=window_start_time,
+        num_taps=_INTERPOLATION_TAPS,
+    )
+    demodulator = OfdmDemodulator(params, oversampling=reference.oversampling)
+    try:
+        received = demodulator.demodulate(
+            stream, num_symbols=count, timing_backoff=params.cp_length // 4
+        )
+        metrics = ofdm_grid_metrics(
+            params, reference.reference_grid[first : last + 1], received
+        )
+    except MeasurementError as exc:
+        return None, str(exc)
+    return float(metrics.evm_percent), None

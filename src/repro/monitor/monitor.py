@@ -37,7 +37,7 @@ from ..utils.validation import (
 )
 from .accumulator import StreamingAccumulator
 from .detector import DriftAlarm, DriftDetector, DriftDetectorConfig
-from .evm import SymbolReference, windowed_evm
+from .evm import OfdmSymbolReference, SymbolReference, windowed_evm, windowed_ofdm_evm
 
 __all__ = [
     "ChannelSpec",
@@ -153,7 +153,13 @@ class MonitorConfig:
 
 @dataclass(frozen=True)
 class WindowMetrics:
-    """Measurements of one completed window (``None`` = not measurable)."""
+    """Measurements of one completed window (``None`` = not measurable).
+
+    ``evm_skipped_reason`` says *why* ``evm_percent`` is ``None`` — no
+    reference attached, a real-valued stream, too few clean symbols in the
+    window — so a missing EVM in a report is a documented decision rather
+    than a silent drop.  It is ``None`` whenever an EVM was measured.
+    """
 
     index: int
     start_sample: int
@@ -162,6 +168,7 @@ class WindowMetrics:
     acpr_worst_db: float | None
     occupied_bandwidth_hz: float | None
     evm_percent: float | None
+    evm_skipped_reason: str | None = None
 
     def metric_values(self) -> dict:
         """The values keyed as the drift detector (and baseline gate) expects."""
@@ -257,8 +264,9 @@ class StreamingMonitor:
     config:
         Session configuration (:class:`MonitorConfig`).
     reference:
-        Optional :class:`~repro.monitor.SymbolReference` enabling per-window
-        EVM (single-carrier streams with known data).
+        Optional :class:`~repro.monitor.SymbolReference` (single-carrier) or
+        :class:`~repro.monitor.OfdmSymbolReference` (OFDM) enabling
+        per-window EVM for streams with known data.
     baseline:
         Optional explicit per-metric baseline for the drift detector;
         without it the detector learns baselines over its warm-up windows.
@@ -267,13 +275,17 @@ class StreamingMonitor:
     def __init__(
         self,
         config: MonitorConfig,
-        reference: SymbolReference | None = None,
+        reference=None,
         baseline: dict | None = None,
     ) -> None:
         if not isinstance(config, MonitorConfig):
             raise ValidationError("config must be a MonitorConfig")
-        if reference is not None and not isinstance(reference, SymbolReference):
-            raise ValidationError("reference must be a SymbolReference (or None)")
+        if reference is not None and not isinstance(
+            reference, (SymbolReference, OfdmSymbolReference)
+        ):
+            raise ValidationError(
+                "reference must be a SymbolReference or OfdmSymbolReference (or None)"
+            )
         self._config = config
         self._reference = reference
         self._detector = DriftDetector(config.detector, baseline=baseline)
@@ -378,7 +390,7 @@ class StreamingMonitor:
         spectrum = self._window_accumulator.spectrum()
         acpr_worst = self._measure_acpr(spectrum)
         obw = self._measure_obw(spectrum)
-        evm = self._measure_evm(samples, start_sample)
+        evm, evm_skipped_reason = self._measure_evm(samples, start_sample)
         window = WindowMetrics(
             index=self._window_index,
             start_sample=start_sample,
@@ -387,6 +399,7 @@ class StreamingMonitor:
             acpr_worst_db=acpr_worst,
             occupied_bandwidth_hz=obw,
             evm_percent=evm,
+            evm_skipped_reason=evm_skipped_reason,
         )
         self._windows.append(window)
         self._window_index += 1
@@ -436,18 +449,40 @@ class StreamingMonitor:
         except MeasurementError:
             return None
 
-    def _measure_evm(self, samples: np.ndarray, start_sample: int) -> float | None:
-        if self._reference is None or not np.iscomplexobj(samples):
-            return None
+    def _measure_evm(self, samples: np.ndarray, start_sample: int) -> tuple:
+        """``(evm_percent, skipped_reason)`` — exactly one of the pair is set."""
+        if self._reference is None:
+            return None, "no symbol reference attached"
+        if not np.iscomplexobj(samples):
+            return None, "EVM needs a complex-envelope stream (real passband ingested)"
         config = self._config
         window_start_time = config.start_time + start_sample / config.sample_rate
-        return windowed_evm(
+        if isinstance(self._reference, OfdmSymbolReference):
+            # min_evm_symbols counts demodulated constellation cells; one
+            # whole OFDM symbol contributes num_subcarriers of them (and the
+            # grid metrics need at least two symbols regardless).
+            per_symbol = self._reference.params.num_subcarriers
+            min_ofdm_symbols = max(2, -(-config.min_evm_symbols // per_symbol))
+            return windowed_ofdm_evm(
+                samples,
+                config.sample_rate,
+                window_start_time,
+                self._reference,
+                min_symbols=min_ofdm_symbols,
+            )
+        evm = windowed_evm(
             samples,
             config.sample_rate,
             window_start_time,
             self._reference,
             min_symbols=config.min_evm_symbols,
         )
+        if evm is None:
+            return None, (
+                f"window demodulates fewer than {config.min_evm_symbols} clean "
+                "symbols after edge guards"
+            )
+        return evm, None
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -485,8 +520,10 @@ class StreamingMonitor:
         transmitter's own envelope (already at a modest rate) is the
         monitored stream.  Channel geometry defaults to the burst's
         modulation — centre 0 Hz, bandwidth ``symbol_rate * (1 + rolloff)``
-        (plain ``symbol_rate`` for OFDM) — and the windowed EVM reference is
-        attached automatically for single-carrier bursts.
+        (plain ``symbol_rate`` for OFDM) — and the windowed EVM reference
+        (:class:`~repro.monitor.SymbolReference` for single-carrier bursts,
+        :class:`~repro.monitor.OfdmSymbolReference` for OFDM) is attached
+        automatically.
 
         Blocks still have to be fed by the caller (:meth:`ingest` /
         :meth:`ingest_stream` with :func:`iter_blocks`); this builder only
@@ -515,6 +552,9 @@ class StreamingMonitor:
             start_time=float(envelope.start_time),
         )
         reference = None
-        if measure_evm and config.ofdm is None:
-            reference = SymbolReference.from_transmission(burst)
+        if measure_evm:
+            if config.ofdm is None:
+                reference = SymbolReference.from_transmission(burst)
+            else:
+                reference = OfdmSymbolReference.from_transmission(burst)
         return cls(monitor_config, reference=reference, baseline=baseline)

@@ -17,12 +17,21 @@ still occupy disk).  This module is the janitor:
     **tombstoned**: their fingerprints and eras are appended to
     ``tombstones.json`` in the store root, a durable record that the era
     was collected so operators can tell "never ran" from "expired"),
-  - records older than ``max_age_seconds`` (age is the shard file's
-    mtime — records carry no timestamps by design, fingerprints must be
-    content-only),
+  - records older than ``max_age_seconds``; each record ages by its own
+    ``stored_at`` stamp (written at :meth:`~repro.store.store.CampaignStore.put`
+    time and preserved through compaction), falling back to the shard
+    file's mtime for legacy records without one — the stamp matters
+    because compaction rewrites shards and resets their mtime, which
+    would otherwise rejuvenate (and effectively immortalise) every
+    record it touches,
   - unless the fingerprint is **protected** by the policy's keep-set
     (typically the fingerprints of a baseline store, see
     :meth:`GcPolicy.protecting`).
+
+Ages that come out negative (clock steps, NFS mtime skew, records stamped
+by a machine with a faster clock) are clamped to zero with a warning —
+mirroring the service-stats duration clamps — so skew never expires a
+freshly-written record.
 
 GC never touches records it cannot parse (corrupt lines are the store
 reader's recovery domain, not the janitor's) and supports ``dry_run`` for
@@ -33,6 +42,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -53,8 +63,9 @@ class GcPolicy:
     Attributes
     ----------
     max_age_seconds:
-        Drop records from shards last modified more than this many seconds
-        ago (``None`` disables age-based retention).
+        Drop records stored more than this many seconds ago (``None``
+        disables age-based retention).  Records age by their ``stored_at``
+        stamp; legacy records without one age by their shard file's mtime.
     keep_fingerprints:
         Protected fingerprints (e.g. a baseline set) that survive
         regardless of age or schema era.
@@ -162,6 +173,19 @@ def _write_tombstones(store: CampaignStore, tombstones: dict) -> None:
     tmp.replace(path)
 
 
+def _clamped_age(age_seconds: float, what: str) -> float:
+    """Clamp a negative age to zero with a warning (clock steps, NFS skew)."""
+    if age_seconds < 0.0:
+        warnings.warn(
+            f"negative age {age_seconds:.3f}s for {what} (clock skew?); "
+            "clamping to 0 so it is treated as freshly stored",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return 0.0
+    return age_seconds
+
+
 def compact_store(store_root, shard: str = "campaign") -> int:
     """Collapse every shard of a store into one (see :meth:`CampaignStore.compact`)."""
     return CampaignStore(store_root, shard=shard).compact()
@@ -189,12 +213,14 @@ def run_gc(store_root, policy: GcPolicy, dry_run: bool = False, now: float | Non
     for path in store.shard_paths():
         shards_scanned += 1
         try:
-            age_seconds = reference - path.stat().st_mtime
+            raw_shard_age = reference - path.stat().st_mtime
             text = path.read_text(encoding="utf-8")
         except OSError:
             continue
-        shard_expired = (
-            policy.max_age_seconds is not None and age_seconds > policy.max_age_seconds
+        shard_age_seconds = (
+            _clamped_age(raw_shard_age, f"shard {path.name}")
+            if policy.max_age_seconds is not None
+            else 0.0
         )
         survivors: list[str] = []
         changed = False
@@ -225,10 +251,22 @@ def run_gc(store_root, policy: GcPolicy, dry_run: bool = False, now: float | Non
                     "reason": "superseded-schema",
                 }
                 continue
-            if shard_expired:
-                expired += 1
-                changed = True
-                continue
+            if policy.max_age_seconds is not None:
+                # Age by the record's own storage stamp when it has one;
+                # compaction rewrites the shard (fresh mtime) but preserves
+                # the stamps, so stamped records keep expiring on schedule.
+                # Legacy records (no stamp) can only age by the shard mtime.
+                stored_at = record.get("stored_at")
+                if isinstance(stored_at, (int, float)):
+                    age_seconds = _clamped_age(
+                        reference - float(stored_at), f"record {fingerprint!r}"
+                    )
+                else:
+                    age_seconds = shard_age_seconds
+                if age_seconds > policy.max_age_seconds:
+                    expired += 1
+                    changed = True
+                    continue
             records_kept += 1
             survivors.append(stripped)
         if not changed:

@@ -3,12 +3,16 @@
 A :class:`CampaignStore` is a directory of append-only JSONL shards.  Each
 line is one record::
 
-    {"fingerprint": "<sha256>", "schema_version": 1, "outcome": {...}}
+    {"fingerprint": "<sha256>", "schema_version": 1, "stored_at": ..., "outcome": {...}}
 
 where ``outcome`` is the full :class:`~repro.bist.runner.ScenarioOutcome`
-archive (report with PSD arrays included).  Records are keyed by the
-scenario fingerprint (:mod:`repro.store.fingerprint`), which makes the
-store:
+archive (report with PSD arrays included) and ``stored_at`` is the wall
+clock at :meth:`~CampaignStore.put` time (absent on records written by
+older library versions).  The stamp rides along through :meth:`compact`
+and :meth:`merge` so age-based retention (:mod:`repro.service.lifecycle`)
+ages each record by *when it was stored*, not by the shard file's mtime —
+which every rewrite would reset.  Records are keyed by the scenario
+fingerprint (:mod:`repro.store.fingerprint`), which makes the store:
 
 * a **cache** — a campaign run with ``store=`` skips every scenario whose
   fingerprint is already present and substitutes the archived report;
@@ -32,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 import warnings
 from pathlib import Path
 
@@ -77,6 +82,7 @@ class CampaignStore:
             raise ValidationError(f"shard must be a plain file stem, got {shard!r}")
         self._shard = shard
         self._index: dict[str, ScenarioOutcome] | None = None
+        self._stored_at: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # Paths
@@ -101,7 +107,7 @@ class CampaignStore:
     # Reading
     # ------------------------------------------------------------------ #
     def _parse_line(self, line: str, path: Path, number: int) -> tuple | None:
-        """``(fingerprint, outcome)`` of one shard line, or ``None`` if bad."""
+        """``(fingerprint, outcome, stored_at)`` of one shard line, or ``None``."""
         line = line.strip()
         if not line:
             return None
@@ -129,17 +135,19 @@ class CampaignStore:
                 stacklevel=3,
             )
             return None
-        return fingerprint, outcome
+        stored_at = record.get("stored_at")
+        stored_at = float(stored_at) if isinstance(stored_at, (int, float)) else None
+        return fingerprint, outcome, stored_at
 
     def _scan(self, paths) -> dict:
-        """Fingerprint → outcome index over exactly the given shard files.
+        """Fingerprint → ``(outcome, stored_at)`` over exactly the given shards.
 
         Corrupt lines (torn appends, truncation, garbage) are skipped with a
         :class:`CampaignStoreWarning`; duplicate fingerprints keep the first
         record in the order the paths are given (callers pass them in
         deterministic shard order).
         """
-        index: dict[str, ScenarioOutcome] = {}
+        index: dict[str, tuple] = {}
         for path in paths:
             try:
                 text = path.read_text(encoding="utf-8")
@@ -154,9 +162,16 @@ class CampaignStore:
                 parsed = self._parse_line(line, path, number)
                 if parsed is None:
                     continue
-                fingerprint, outcome = parsed
-                index.setdefault(fingerprint, outcome)
+                fingerprint, outcome, stored_at = parsed
+                index.setdefault(fingerprint, (outcome, stored_at))
         return index
+
+    def _adopt_scan(self, scanned: dict) -> None:
+        """Split a :meth:`_scan` result into the outcome index and stamp map."""
+        self._index = {fp: outcome for fp, (outcome, _) in scanned.items()}
+        self._stored_at = {
+            fp: stamp for fp, (_, stamp) in scanned.items() if stamp is not None
+        }
 
     def load(self) -> dict:
         """Scan every shard into the fingerprint → outcome index.
@@ -165,9 +180,8 @@ class CampaignStore:
         :class:`CampaignStoreWarning`; duplicate fingerprints keep the first
         record in deterministic shard order.
         """
-        index = self._scan(self.shard_paths())
-        self._index = index
-        return dict(index)
+        self._adopt_scan(self._scan(self.shard_paths()))
+        return dict(self._index)
 
     def _ensure_index(self) -> dict:
         if self._index is None:
@@ -188,20 +202,38 @@ class CampaignStore:
         """The archived outcome for a fingerprint, or ``None`` on a miss."""
         return self._ensure_index().get(fingerprint)
 
+    def stored_at(self, fingerprint: str) -> float | None:
+        """When a record was first stored (wall clock), or ``None``.
+
+        ``None`` means either a store miss or a legacy record written before
+        timestamps existed; age-based retention falls back to the shard
+        file's mtime for those.
+        """
+        self._ensure_index()
+        return self._stored_at.get(fingerprint)
+
     # ------------------------------------------------------------------ #
     # Writing
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _record_line(fingerprint: str, outcome: ScenarioOutcome) -> str:
-        return canonical_json(
-            {
-                "fingerprint": fingerprint,
-                "schema_version": SCHEMA_VERSION,
-                "outcome": outcome.to_dict(),
-            }
-        )
+    def _record_line(
+        fingerprint: str, outcome: ScenarioOutcome, stored_at: float | None = None
+    ) -> str:
+        record = {
+            "fingerprint": fingerprint,
+            "schema_version": SCHEMA_VERSION,
+            "outcome": outcome.to_dict(),
+        }
+        if stored_at is not None:
+            record["stored_at"] = stored_at
+        return canonical_json(record)
 
-    def put(self, fingerprint: str, outcome: ScenarioOutcome) -> bool:
+    def put(
+        self,
+        fingerprint: str,
+        outcome: ScenarioOutcome,
+        stored_at: float | None = None,
+    ) -> bool:
         """Append one outcome under its fingerprint; flushes immediately.
 
         Returns ``True`` when the record was written, ``False`` when the
@@ -209,6 +241,9 @@ class CampaignStore:
         first-record-wins, so re-putting is a no-op).  Only successful
         outcomes are archived: errored scenarios must re-execute on resume
         rather than replay a possibly-environmental failure forever.
+
+        ``stored_at`` overrides the storage stamp (wall clock seconds) that
+        age-based retention later ages the record by; it defaults to now.
         """
         if not isinstance(outcome, ScenarioOutcome):
             raise ValidationError("outcome must be a ScenarioOutcome")
@@ -220,12 +255,14 @@ class CampaignStore:
         index = self._ensure_index()
         if fingerprint in index:
             return False
+        stamp = time.time() if stored_at is None else float(stored_at)
         self._root.mkdir(parents=True, exist_ok=True)
         with open(self.shard_path, "a", encoding="utf-8") as handle:
-            handle.write(self._record_line(fingerprint, outcome) + "\n")
+            handle.write(self._record_line(fingerprint, outcome, stamp) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         index[fingerprint] = outcome
+        self._stored_at[fingerprint] = stamp
         return True
 
     def _write_shard_atomic(self, path: Path, lines: list[str]) -> None:
@@ -255,26 +292,29 @@ class CampaignStore:
         Determinism contract: the surviving record per fingerprint is
         exactly the one :meth:`load` would have served — first record in
         sorted shard order, lines in file order — and the output lines are
-        sorted by fingerprint.  The set of shards is snapshotted *before*
-        scanning and only those files are removed afterwards, so a shard
-        created by a concurrent writer between the scan and the cleanup is
-        left untouched instead of being deleted unread.  (Records appended
-        to an already-scanned shard during compaction are still lost —
-        quiesce writers, as the service coordinator's drain does, before
-        compacting a live store.)
+        sorted by fingerprint.  Each record keeps its original ``stored_at``
+        stamp, so compaction does not rejuvenate records in the eyes of
+        age-based retention (the rewritten file's mtime is fresh, but GC
+        ages by the per-record stamp).  The set of shards is snapshotted
+        *before* scanning and only those files are removed afterwards, so a
+        shard created by a concurrent writer between the scan and the
+        cleanup is left untouched instead of being deleted unread.  (Records
+        appended to an already-scanned shard during compaction are still
+        lost — quiesce writers, as the service coordinator's drain does,
+        before compacting a live store.)
         """
         paths = self.shard_paths()
-        index = self._scan(paths)
+        scanned = self._scan(paths)
         lines = [
-            self._record_line(fingerprint, index[fingerprint])
-            for fingerprint in sorted(index)
+            self._record_line(fingerprint, *scanned[fingerprint])
+            for fingerprint in sorted(scanned)
         ]
         self._write_shard_atomic(self.shard_path, lines)
         for path in paths:
             if path != self.shard_path:
                 path.unlink(missing_ok=True)
-        self._index = index
-        return len(index)
+        self._adopt_scan(scanned)
+        return len(scanned)
 
     def replace_shard(self, path: Path, lines: list[str]) -> None:
         """Atomically replace one shard of this store with the given lines.
@@ -295,6 +335,7 @@ class CampaignStore:
         else:
             path.unlink(missing_ok=True)
         self._index = None
+        self._stored_at = {}
 
     def merge(self, *others) -> int:
         """Fold other stores (or store directories) into this one.
@@ -314,12 +355,15 @@ class CampaignStore:
             for fingerprint, outcome in other.load().items():
                 if fingerprint not in index:
                     index[fingerprint] = outcome
-                    added.append((fingerprint, outcome))
+                    stamp = other.stored_at(fingerprint)
+                    if stamp is not None:
+                        self._stored_at[fingerprint] = stamp
+                    added.append((fingerprint, outcome, stamp))
         if added:
             self._root.mkdir(parents=True, exist_ok=True)
             with open(self.shard_path, "a", encoding="utf-8") as handle:
-                for fingerprint, outcome in added:
-                    handle.write(self._record_line(fingerprint, outcome) + "\n")
+                for fingerprint, outcome, stamp in added:
+                    handle.write(self._record_line(fingerprint, outcome, stamp) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
         return len(added)

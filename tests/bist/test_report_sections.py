@@ -1,6 +1,7 @@
 """Tests for the table-driven optional sections of ``CampaignSummary.to_text``.
 
-Each metric source (store, compiler, adaptive planner, service queue) owns
+Each metric source (store, compiler, adaptive planner, service queue,
+streaming monitor, channel matrix) owns
 one renderer in ``_SUMMARY_SECTIONS``; a renderer returns its line or
 ``None`` when the campaign never touched that subsystem.  The contract
 under test: sections appear only when their data is present, in table
@@ -10,6 +11,7 @@ order, and adding a source never requires editing ``to_text`` itself.
 from repro.bist.report import (
     _SUMMARY_SECTIONS,
     _adaptive_section,
+    _channel_matrix_section,
     _compiler_section,
     _monitor_section,
     _service_section,
@@ -43,6 +45,19 @@ COMPILER_PAYLOAD = {
     "structure_cache": {"hits": 4, "misses": 1},
 }
 
+CHANNEL_MATRIX_PAYLOAD = {
+    "num_tx": 2,
+    "num_rx": 2,
+    "num_passed": 3,
+    "all_passed": False,
+    "combinations": [
+        {"label": "TX1/RX1", "passed": True},
+        {"label": "TX1/RX2", "passed": True},
+        {"label": "TX2/RX1", "passed": False},
+        {"label": "TX2/RX2", "passed": True},
+    ],
+}
+
 
 def make_summary(**kwargs) -> CampaignSummary:
     """Smallest valid summary: one errored scenario, no reports needed."""
@@ -59,6 +74,7 @@ class TestSectionTable:
             _adaptive_section,
             _service_section,
             _monitor_section,
+            _channel_matrix_section,
         )
 
     def test_bare_summary_renders_no_optional_sections(self):
@@ -70,6 +86,7 @@ class TestSectionTable:
         assert "adaptive efficiency:" not in text
         assert "campaign service:" not in text
         assert "streaming monitor:" not in text
+        assert "channel matrix:" not in text
 
     def test_every_section_renders_when_its_source_is_present(self):
         summary = make_summary(
@@ -80,6 +97,7 @@ class TestSectionTable:
             scenarios_saved_vs_grid=4.0,
             service=SERVICE_PAYLOAD,
             monitor=MONITOR_PAYLOAD,
+            channel_matrix=CHANNEL_MATRIX_PAYLOAD,
         )
         text = summary.to_text()
         lines = text.splitlines()
@@ -91,6 +109,7 @@ class TestSectionTable:
                 "adaptive efficiency:",
                 "campaign service:",
                 "streaming monitor:",
+                "channel matrix:",
             )
         ]
         # Sections appear in table order, right after the headline.
@@ -177,3 +196,35 @@ class TestMonitorSection:
         summary = make_summary(monitor=payload)
         payload["alarms"] = 99
         assert summary.monitor["alarms"] == 2
+
+
+class TestChannelMatrixSection:
+    def test_renders_shape_and_failed_combinations(self):
+        line = _channel_matrix_section(make_summary(channel_matrix=CHANNEL_MATRIX_PAYLOAD))
+        assert line == (
+            "channel matrix: 2 TX x 2 RX (4 combination(s)); FAIL at TX2/RX1"
+        )
+
+    def test_healthy_matrix_renders_all_passed(self):
+        payload = dict(
+            CHANNEL_MATRIX_PAYLOAD,
+            all_passed=True,
+            num_passed=4,
+            combinations=[
+                dict(combo, passed=True)
+                for combo in CHANNEL_MATRIX_PAYLOAD["combinations"]
+            ],
+        )
+        line = _channel_matrix_section(make_summary(channel_matrix=payload))
+        assert line.endswith("all combinations passed")
+
+    def test_single_channel_campaign_renders_nothing(self):
+        assert _channel_matrix_section(make_summary()) is None
+
+    def test_channel_matrix_dict_round_trips_through_to_dict(self):
+        summary = make_summary(channel_matrix=CHANNEL_MATRIX_PAYLOAD)
+        assert summary.to_dict()["channel_matrix"] == CHANNEL_MATRIX_PAYLOAD
+        payload = dict(CHANNEL_MATRIX_PAYLOAD)
+        summary = make_summary(channel_matrix=payload)
+        payload["num_tx"] = 99
+        assert summary.channel_matrix["num_tx"] == 2

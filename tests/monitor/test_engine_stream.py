@@ -7,8 +7,11 @@ loopback path the paper evaluates offline gates continuously too.
 
 import pytest
 
-from repro.bist import CampaignScenario, build_scenario_engine
+from repro.bist import BistConfig, CampaignScenario, TransmitterBist, build_scenario_engine
+from repro.bist.campaign import default_converter
 from repro.monitor import MonitorReport
+from repro.signals.standards import get_profile
+from repro.transmitter import HomodyneTransmitter, TransmitterConfig
 
 
 @pytest.fixture(scope="module")
@@ -41,6 +44,26 @@ class TestEngineStream:
         )
         assert "streaming monitor:" in summary.to_text()
         assert summary.to_dict()["monitor"]["windows"] == report.num_windows
+
+    def test_ofdm_default_window_holds_whole_symbols(self):
+        # The default window used to shrink below one OFDM symbol span, so
+        # every window skipped EVM; it must now widen to fit whole symbols.
+        profile = get_profile("ofdm-uhf-qpsk-400mhz")
+        config = BistConfig(
+            num_samples_fast=2048,
+            num_samples_slow=1024,
+            lms_max_iterations=40,
+            num_cost_points=120,
+        )
+        transmitter = HomodyneTransmitter(TransmitterConfig.from_profile(profile, seed=3))
+        converter = default_converter(
+            config.acquisition_bandwidth_hz, skew_jitter_rms_seconds=1.0e-12, seed=5
+        )
+        engine = TransmitterBist(transmitter, converter, profile=profile, config=config)
+        report = engine.stream()
+        measured = [w for w in report.windows if w.evm_percent is not None]
+        assert measured
+        assert all(window.evm_percent < 5.0 for window in measured)
 
     def test_block_size_does_not_change_the_report(self, engine_and_burst):
         # Acquisition noise makes every prepare() a fresh realisation, so the

@@ -5,6 +5,10 @@ import os
 
 import pytest
 
+from repro.bist.measurements import TxMeasurements
+from repro.bist.report import BistReport, CheckResult, SkewCalibrationReport, Verdict
+from repro.bist.runner import ScenarioOutcome
+from repro.dsp.spectrum import SpectrumEstimate
 from repro.errors import ValidationError
 from repro.service import GcPolicy, GcReport, compact_store, load_tombstones, run_gc
 from repro.store import CampaignStore
@@ -28,6 +32,36 @@ def record(fingerprint: str, schema_version: int = SCHEMA_VERSION, label: str = 
 
 
 NOW = 1_000_000.0
+
+
+def successful_outcome(label: str = "x") -> ScenarioOutcome:
+    """A minimal successful outcome the store will archive (no execution)."""
+    report = BistReport(
+        profile_name="paper-qpsk-1ghz",
+        calibration=SkewCalibrationReport(
+            estimated_delay_seconds=1e-10,
+            programmed_delay_seconds=1e-10,
+            true_delay_seconds=None,
+            iterations=1,
+            converged=True,
+            final_cost=0.0,
+            method="lms",
+        ),
+        measurements=TxMeasurements(
+            output_power=1.0,
+            acpr_db={"lower_db": -40.0, "upper_db": -40.0, "worst_db": -40.0},
+            occupied_bandwidth_hz=1e7,
+            evm_percent=None,
+            spectrum=SpectrumEstimate(
+                frequencies_hz=[1e9 + i * 1e5 for i in range(8)],
+                psd=[1e-9] * 8,
+                resolution_hz=1e5,
+                two_sided=False,
+            ),
+        ),
+        checks=(CheckResult(name="acpr", verdict=Verdict.PASS, measured=-40.0, limit=-30.0),),
+    )
+    return ScenarioOutcome(index=0, label=label, report=report)
 
 
 class TestPolicy:
@@ -118,6 +152,77 @@ class TestAgeRetention:
         write_shard(tmp_path, "old", [record("ancient")], mtime=NOW - 1e9)
         report = run_gc(tmp_path, GcPolicy(), now=NOW)
         assert report.records_dropped == 0
+
+
+class TestStoredAtRetention:
+    """Records age by their ``stored_at`` stamp, not the shard's mtime."""
+
+    def test_backdated_records_expire_even_after_compaction(self, tmp_path):
+        # Regression: compaction rewrites the shard (fresh mtime), which used
+        # to rejuvenate — and effectively immortalise — every record in it.
+        store = CampaignStore(tmp_path)
+        store.put("stale", successful_outcome("x"), stored_at=NOW - 10_000)
+        store.put("fresh", successful_outcome("y"), stored_at=NOW - 10)
+        store.compact()
+        shard = next(tmp_path.glob("*.jsonl"))
+        os.utime(shard, (NOW, NOW))  # the rejuvenated mtime compaction causes
+        report = run_gc(tmp_path, GcPolicy(max_age_seconds=3_600), now=NOW)
+        assert report.expired == 1
+        remaining = shard.read_text()
+        assert "fresh" in remaining
+        assert "stale" not in remaining
+
+    def test_stamp_survives_merge(self, tmp_path):
+        source = CampaignStore(tmp_path / "source")
+        source.put("old-record", successful_outcome("x"), stored_at=NOW - 10_000)
+        target = CampaignStore(tmp_path / "target")
+        target.merge(source)
+        assert target.stored_at("old-record") == NOW - 10_000
+        os.utime(target.shard_path, (NOW, NOW))  # pin the merged shard's mtime
+        report = run_gc(
+            tmp_path / "target", GcPolicy(max_age_seconds=3_600), now=NOW
+        )
+        assert report.expired == 1
+
+    def test_legacy_records_without_stamp_age_by_shard_mtime(self, tmp_path):
+        write_shard(tmp_path, "legacy", [record("unstamped")], mtime=NOW - 10_000)
+        report = run_gc(tmp_path, GcPolicy(max_age_seconds=3_600), now=NOW)
+        assert report.expired == 1
+
+    def test_fresh_stamp_in_an_old_shard_survives(self, tmp_path):
+        stamped = dict(record("recent"), stored_at=NOW - 10)
+        write_shard(tmp_path, "old", [stamped], mtime=NOW - 10_000)
+        report = run_gc(tmp_path, GcPolicy(max_age_seconds=3_600), now=NOW)
+        assert report.expired == 0
+        assert report.records_kept == 1
+
+
+class TestNegativeAgeClamp:
+    """Clock skew must never expire a freshly-written record."""
+
+    def test_future_record_stamp_warns_and_is_kept(self, tmp_path):
+        stamped = dict(record("from-the-future"), stored_at=NOW + 500)
+        write_shard(tmp_path, "a", [stamped], mtime=NOW - 10)
+        with pytest.warns(RuntimeWarning, match="negative age"):
+            report = run_gc(tmp_path, GcPolicy(max_age_seconds=3_600), now=NOW)
+        assert report.expired == 0
+        assert report.records_kept == 1
+
+    def test_future_shard_mtime_warns_and_keeps_legacy_records(self, tmp_path):
+        write_shard(tmp_path, "a", [record("legacy")], mtime=NOW + 500)
+        with pytest.warns(RuntimeWarning, match="negative age"):
+            report = run_gc(tmp_path, GcPolicy(max_age_seconds=3_600), now=NOW)
+        assert report.expired == 0
+        assert report.records_kept == 1
+
+    def test_no_age_policy_never_warns(self, tmp_path):
+        import warnings
+
+        write_shard(tmp_path, "a", [record("legacy")], mtime=NOW + 500)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = run_gc(tmp_path, GcPolicy(), now=NOW)
+        assert report.records_kept == 1
 
 
 class TestDryRunAndReport:

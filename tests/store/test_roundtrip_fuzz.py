@@ -13,6 +13,7 @@ import random
 
 import pytest
 
+from repro.adc.acquisition import AcquisitionMetadata
 from repro.bist import BistConfig, ConverterSpec
 from repro.bist.masks import MaskCheckResult, MaskViolation
 from repro.bist.measurements import TxMeasurements
@@ -28,6 +29,7 @@ from repro.faults import (
     TestLimits,
     ThresholdReport,
 )
+from repro.mimo import MimoSpec
 from repro.rf.amplifier import (
     IdealAmplifier,
     PolynomialAmplifier,
@@ -381,6 +383,29 @@ def random_threshold_report(rng: random.Random) -> ThresholdReport:
     )
 
 
+def random_acquisition_metadata(rng: random.Random) -> AcquisitionMetadata:
+    return AcquisitionMetadata(
+        kind=rng.choice(["simulated-tiadc", "captured-samples"]),
+        sample_rate_hz=rng.uniform(50e6, 120e6),
+        num_captures=rng.randrange(0, 8),
+        programmed_delay_seconds=maybe(rng, rng.uniform(50e-12, 300e-12)),
+        true_delay_seconds=maybe(rng, rng.uniform(50e-12, 300e-12)),
+    )
+
+
+def random_mimo_spec(rng: random.Random) -> MimoSpec:
+    return MimoSpec(
+        num_chains=rng.randrange(1, 5),
+        tx_leakage_db=maybe(rng, rng.uniform(-60.0, -10.0)),
+        tx_leakage_phase_deg=rng.uniform(-180.0, 180.0),
+        shared_lo_correlation=rng.uniform(0.0, 1.0),
+        shared_lo_linewidth_hz=rng.uniform(0.0, 1e5),
+        gain_spread_db=rng.uniform(0.0, 6.0),
+        skew_spread_seconds=rng.uniform(0.0, 100e-12),
+        seed=maybe(rng, rng.randrange(2**31)),
+    )
+
+
 def random_importance_estimate(rng: random.Random) -> ImportanceEscapeEstimate:
     return ImportanceEscapeEstimate(
         fault_probability=rng.uniform(0.01, 0.2),
@@ -422,6 +447,12 @@ CASES = {
         ImportanceEscapeEstimate.from_dict,
         True,
     ),
+    "AcquisitionMetadata": (
+        random_acquisition_metadata,
+        AcquisitionMetadata.from_dict,
+        True,
+    ),
+    "MimoSpec": (random_mimo_spec, MimoSpec.from_dict, True),
 }
 
 

@@ -1,0 +1,54 @@
+"""Lint: test module basenames must be unique across every test directory.
+
+The test tree has no ``__init__.py`` packages, so pytest imports each test
+module by its *basename* (rootdir-relative imports are off).  Two files
+named ``test_cli.py`` in different directories would collide in
+``sys.modules`` and one of them would silently shadow the other — an entire
+test file skipped without a failure.  This check fails CI the moment a
+duplicate basename appears.
+
+Run with:  python tools/check_test_basenames.py [TESTS_DIR]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def find_duplicates(tests_dir: Path) -> dict:
+    """Map of duplicated basename -> sorted list of colliding paths."""
+    by_basename = defaultdict(list)
+    for path in sorted(tests_dir.rglob("test_*.py")):
+        by_basename[path.name].append(path)
+    return {
+        name: paths for name, paths in sorted(by_basename.items()) if len(paths) > 1
+    }
+
+
+def main(argv: list | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tests_dir = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "tests"
+    if not tests_dir.is_dir():
+        print(f"error: no test directory at {tests_dir}", file=sys.stderr)
+        return 2
+    duplicates = find_duplicates(tests_dir)
+    if not duplicates:
+        count = sum(1 for _ in tests_dir.rglob("test_*.py"))
+        print(f"ok: {count} test module(s), all basenames unique")
+        return 0
+    for name, paths in duplicates.items():
+        print(f"duplicate test basename {name!r}:", file=sys.stderr)
+        for path in paths:
+            print(f"  {path}", file=sys.stderr)
+    print(
+        "\ntest modules are imported by basename (no __init__.py packages); "
+        "rename the colliding files so every basename is unique",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
